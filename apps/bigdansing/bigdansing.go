@@ -1,0 +1,187 @@
+// Package bigdansing reproduces the BigDansing data cleaning application of
+// the paper (Section 2.1): users express a rule through five logical
+// operators — Scope (project to the relevant attributes), Block (group the
+// records among which an error can occur), Iterate (enumerate candidate
+// pairs), Detect (decide whether a candidate is a violation), and GenFix
+// (propose repairs) — and the application compiles them onto RHEEM
+// operators. Denial constraints with two inequality conditions compile to
+// the IEJoin operator, the plug-in algorithm that gives BigDansing its
+// order-of-magnitude edge over cartesian-product baselines.
+package bigdansing
+
+import (
+	"fmt"
+
+	"rheem"
+	"rheem/internal/core"
+)
+
+// Rule is a data cleaning rule over records, expressed through the five
+// BigDansing logical operators.
+type Rule interface {
+	// Scope projects a record to the attributes the rule inspects; return
+	// nil to drop the record from consideration.
+	Scope(r core.Record) core.Record
+	// Block returns the blocking key: only records sharing a block can
+	// violate the rule together. Return nil for a single global block.
+	Block(r core.Record) any
+	// Detect decides whether an ordered candidate pair violates the rule.
+	Detect(a, b core.Record) bool
+	// GenFix proposes a repair for a violating pair.
+	GenFix(a, b core.Record) Fix
+}
+
+// Fix is a proposed repair: set column Col of the record with id RowID to
+// Value.
+type Fix struct {
+	RowID int64
+	Col   int
+	Value any
+}
+
+// Violation is a detected violating pair.
+type Violation struct {
+	A, B core.Record
+}
+
+// DenialConstraint is the paper's running rule template:
+//
+//	forall t1, t2: not (t1[ColA] opA t2[ColA] AND t1[ColB] opB t2[ColB])
+//
+// e.g. not (t1.Salary > t2.Salary AND t1.Tax < t2.Tax). It implements Rule
+// and additionally unlocks the IEJoin fast path.
+type DenialConstraint struct {
+	IDCol      int
+	ColA, ColB int
+	OpA, OpB   core.Inequality
+	// BlockCol optionally blocks records (e.g. per area code); negative
+	// means one global block.
+	BlockCol int
+}
+
+// Scope implements Rule: keep id + the two compared attributes (+ block).
+func (dc DenialConstraint) Scope(r core.Record) core.Record { return r }
+
+// Block implements Rule.
+func (dc DenialConstraint) Block(r core.Record) any {
+	if dc.BlockCol < 0 {
+		return nil
+	}
+	return r[dc.BlockCol]
+}
+
+// Detect implements Rule.
+func (dc DenialConstraint) Detect(a, b core.Record) bool {
+	return dc.OpA.Holds(a.Float(dc.ColA), b.Float(dc.ColA)) &&
+		dc.OpB.Holds(a.Float(dc.ColB), b.Float(dc.ColB))
+}
+
+// GenFix implements Rule: align the second attribute of the offending
+// record with its pair's (the minimal-change repair for tax-style rules).
+func (dc DenialConstraint) GenFix(a, b core.Record) Fix {
+	return Fix{RowID: a.Int(dc.IDCol), Col: dc.ColB, Value: b[dc.ColB]}
+}
+
+// BuildDetectPlan compiles the rule into a RHEEM plan over the given
+// records and returns the plan builder plus the violations sink. Denial
+// constraints compile Scope -> IEJoin(Detect) -> GenFix; general rules fall
+// back to Block -> Iterate (cartesian within block) -> Detect.
+func BuildDetectPlan(ctx *rheem.Context, name string, records []any, rule Rule) (*rheem.PlanBuilder, *core.Operator, error) {
+	b := ctx.NewPlan(name)
+	scoped := b.LoadCollection("records", records).
+		Map("scope", func(q any) any { return rule.Scope(q.(core.Record)) }).
+		Filter("in-scope", func(q any) bool { return q != nil && q.(core.Record) != nil })
+
+	var violations *rheem.DataQuanta
+	if dc, ok := rule.(DenialConstraint); ok {
+		// The inequality-join fast path: both conditions push into IEJoin.
+		nums := func(q any) (float64, float64) {
+			r := q.(core.Record)
+			return r.Float(dc.ColA), r.Float(dc.ColB)
+		}
+		violations = scoped.IEJoin(scoped, nums, nums, dc.OpA, dc.OpB,
+			func(l, r any) any { return core.Record{l, r} }).
+			Filter("distinct-pair", func(q any) bool {
+				pair := q.(core.Record)
+				a, b := pair[0].(core.Record), pair[1].(core.Record)
+				return a.Int(dc.IDCol) != b.Int(dc.IDCol)
+			})
+	} else {
+		// Generic path: block, group, iterate candidate pairs, detect.
+		blocked := scoped.GroupBy("block", func(q any) any {
+			k := rule.Block(q.(core.Record))
+			if k == nil {
+				return "all"
+			}
+			return k
+		})
+		violations = blocked.FlatMap("iterate+detect", func(q any) []any {
+			g := q.(core.Group)
+			var out []any
+			for i, a := range g.Values {
+				for j, b := range g.Values {
+					if i == j {
+						continue
+					}
+					ra, rb := a.(core.Record), b.(core.Record)
+					if rule.Detect(ra, rb) {
+						out = append(out, core.Record{ra, rb})
+					}
+				}
+			}
+			return out
+		})
+	}
+	sink := violations.CollectSink()
+	return b, sink, nil
+}
+
+// Detect runs the rule and returns the violations.
+func Detect(ctx *rheem.Context, records []any, rule Rule, options ...rheem.ExecOption) ([]Violation, error) {
+	b, sink, err := BuildDetectPlan(ctx, "bigdansing-detect", records, rule)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ctx.Execute(b.Plan(), options...)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := res.CollectFrom(sink)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Violation, 0, len(pairs))
+	for _, q := range pairs {
+		pair, ok := q.(core.Record)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("bigdansing: unexpected violation quantum %T", q)
+		}
+		out = append(out, Violation{A: pair[0].(core.Record), B: pair[1].(core.Record)})
+	}
+	return out, nil
+}
+
+// GenFixes derives repair proposals from detected violations.
+func GenFixes(rule Rule, violations []Violation) []Fix {
+	fixes := make([]Fix, 0, len(violations))
+	for _, v := range violations {
+		fixes = append(fixes, rule.GenFix(v.A, v.B))
+	}
+	return fixes
+}
+
+// ApplyFixes applies repairs to a copy of the records (by row id in idCol).
+func ApplyFixes(records []core.Record, idCol int, fixes []Fix) []core.Record {
+	byID := map[int64]int{}
+	out := make([]core.Record, len(records))
+	for i, r := range records {
+		out[i] = r.Copy()
+		byID[r.Int(idCol)] = i
+	}
+	for _, f := range fixes {
+		if i, ok := byID[f.RowID]; ok {
+			out[i][f.Col] = f.Value
+		}
+	}
+	return out
+}

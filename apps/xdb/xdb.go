@@ -1,0 +1,140 @@
+// Package xdb reproduces the xDB application of the paper (Section 2.3): a
+// thin database layer on top of RHEEM. It offers a small relational query
+// builder over relstore tables whose plans RHEEM is free to execute
+// anywhere — in the store, in a parallel engine, or split across both — and
+// the cross-community PageRank composite task the paper uses to demonstrate
+// mandatory cross-platform processing (data in the DBMS, computation
+// elsewhere).
+package xdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rheem"
+	"rheem/internal/core"
+)
+
+// Query is a minimal declarative query over one or two tables; it compiles
+// to a RHEEM plan rather than being executed by any fixed engine.
+type Query struct {
+	ctx  *rheem.Context
+	b    *rheem.PlanBuilder
+	data *rheem.DataQuanta
+}
+
+// From starts a query scanning a table.
+func From(ctx *rheem.Context, store, table string) *Query {
+	b := ctx.NewPlan("xdb-" + table)
+	return &Query{ctx: ctx, b: b, data: b.ReadTable(store, table, nil, nil)}
+}
+
+// Select projects columns.
+func (q *Query) Select(columns ...int) *Query {
+	q.data = q.data.Project(columns...)
+	return q
+}
+
+// Where filters with a declarative predicate (index-eligible in the store).
+func (q *Query) Where(pred core.Predicate) *Query {
+	q.data = q.data.FilterWhere("where", pred)
+	return q
+}
+
+// Join equi-joins with another table of the same context.
+func (q *Query) Join(store, table string, leftCol, rightCol int) *Query {
+	right := q.b.ReadTable(store, table, nil, nil)
+	q.data = q.data.Join(right,
+		func(a any) any { return a.(core.Record)[leftCol] },
+		func(a any) any { return a.(core.Record)[rightCol] },
+		func(l, r any) any { return append(l.(core.Record).Copy(), r.(core.Record)...) })
+	return q
+}
+
+// GroupSum groups by a column and sums another, yielding Records of
+// (group, sum).
+func (q *Query) GroupSum(groupCol, sumCol int) *Query {
+	q.data = q.data.Map("pair", func(a any) any {
+		r := a.(core.Record)
+		return core.Record{r[groupCol], r.Float(sumCol)}
+	}).ReduceBy("sum",
+		func(a any) any { return a.(core.Record)[0] },
+		func(x, y any) any {
+			rx, ry := x.(core.Record), y.(core.Record)
+			return core.Record{rx[0], rx.Float(1) + ry.Float(1)}
+		})
+	return q
+}
+
+// OrderByDesc sorts by a numeric column, descending.
+func (q *Query) OrderByDesc(col int) *Query {
+	q.data = q.data.Sort(func(a, b any) bool {
+		return a.(core.Record).Float(col) > b.(core.Record).Float(col)
+	})
+	return q
+}
+
+// Run executes the query.
+func (q *Query) Run(options ...rheem.ExecOption) ([]core.Record, error) {
+	out, err := q.data.Collect(options...)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]core.Record, len(out))
+	for i, v := range out {
+		r, ok := v.(core.Record)
+		if !ok {
+			return nil, fmt.Errorf("xdb: row %d is %T", i, v)
+		}
+		recs[i] = r
+	}
+	return recs, nil
+}
+
+// Quanta exposes the current dataflow handle for composition beyond SQL.
+func (q *Query) Quanta() *rheem.DataQuanta { return q.data }
+
+// ParseEdgeLine parses "src<TAB>dst" link lines into edges (shared by the
+// CrocoPR task and the examples).
+func ParseEdgeLine(q any) any {
+	line := q.(string)
+	tab := strings.IndexByte(line, '\t')
+	if tab < 0 {
+		return core.Edge{}
+	}
+	src, _ := strconv.ParseInt(line[:tab], 10, 64)
+	dst, _ := strconv.ParseInt(line[tab+1:], 10, 64)
+	return core.Edge{Src: src, Dst: dst}
+}
+
+// BuildCrossCommunityPageRank composes the paper's cross-community PageRank
+// task: parse the link lines of two community datasets, normalize them,
+// intersect the communities, and run PageRank over the shared core,
+// finishing with a by-rank ordering. Sources may live anywhere (text files,
+// collections, tables exported as lines).
+func BuildCrossCommunityPageRank(ctx *rheem.Context, linesA, linesB *rheem.DataQuanta, iterations int) *rheem.DataQuanta {
+	parse := func(d *rheem.DataQuanta, side string) *rheem.DataQuanta {
+		return d.
+			Map("parse-"+side, ParseEdgeLine).
+			Filter("valid-"+side, func(q any) bool {
+				e := q.(core.Edge)
+				return e.Src != 0 || e.Dst != 0
+			}).
+			Map("normalize-"+side, func(q any) any {
+				e := q.(core.Edge)
+				if e.Src == e.Dst { // drop self loops by rewriting to canonical
+					return core.Edge{Src: e.Src, Dst: (e.Dst + 1)}
+				}
+				return e
+			}).
+			Distinct()
+	}
+	a := parse(linesA, "a")
+	b := parse(linesB, "b")
+	shared := a.Intersect(b)
+	ranks := shared.PageRank(iterations, 0.85)
+	return ranks.Sort(func(x, y any) bool {
+		return x.(core.KV).Value.(float64) > y.(core.KV).Value.(float64)
+	})
+}

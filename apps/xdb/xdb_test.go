@@ -1,0 +1,147 @@
+package xdb
+
+import (
+	"testing"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/internal/datagen"
+	"rheem/internal/platform/relstore"
+)
+
+func fastCtx(t *testing.T) *rheem.Context {
+	t.Helper()
+	ctx, err := rheem.NewContext(rheem.Config{FastSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func seedSales(t *testing.T, ctx *rheem.Context) {
+	t.Helper()
+	store := ctx.RelStore("pg")
+	sales, err := store.CreateTable("sales", []relstore.Column{
+		{Name: "id", Type: relstore.TInt},
+		{Name: "product", Type: relstore.TInt},
+		{Name: "amount", Type: relstore.TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := store.CreateTable("products", []relstore.Column{
+		{Name: "id", Type: relstore.TInt},
+		{Name: "name", Type: relstore.TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sales.Insert(core.Record{int64(i), int64(i % 3), float64(10 + i)})
+	}
+	products.Insert(
+		core.Record{int64(0), "apple"},
+		core.Record{int64(1), "pear"},
+		core.Record{int64(2), "plum"},
+	)
+}
+
+func TestQuerySelectWhere(t *testing.T) {
+	ctx := fastCtx(t)
+	seedSales(t, ctx)
+	rows, err := From(ctx, "pg", "sales").
+		Where(core.Predicate{Col: 2, Op: core.PredGe, Value: 105.0}).
+		Select(0).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // amounts 105..109 -> ids 95..99
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if len(r) != 1 {
+			t.Fatalf("projection failed: %v", r)
+		}
+	}
+}
+
+func TestQueryJoinGroupSum(t *testing.T) {
+	ctx := fastCtx(t)
+	seedSales(t, ctx)
+	rows, err := From(ctx, "pg", "sales").
+		Join("pg", "products", 1, 0).
+		GroupSum(4, 2). // group by product name (col 4 after join), sum amount
+		OrderByDesc(1).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %v", rows)
+	}
+	// Totals: product i gets amounts {10+i, 10+i+3, ...}; all close, but
+	// ordering must be strictly descending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Float(1) > rows[i-1].Float(1) {
+			t.Fatalf("not descending: %v", rows)
+		}
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.Float(1)
+	}
+	want := 0.0
+	for i := 0; i < 100; i++ {
+		want += float64(10 + i)
+	}
+	if total != want {
+		t.Fatalf("sum = %f, want %f", total, want)
+	}
+}
+
+func TestParseEdgeLine(t *testing.T) {
+	e := ParseEdgeLine("12\t34").(core.Edge)
+	if e.Src != 12 || e.Dst != 34 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if bad := ParseEdgeLine("garbage").(core.Edge); bad.Src != 0 || bad.Dst != 0 {
+		t.Fatalf("bad line = %+v", bad)
+	}
+}
+
+func TestCrossCommunityPageRank(t *testing.T) {
+	ctx := fastCtx(t)
+	a, bEdges := datagen.CommunityGraphs(60, 30, 3, 5)
+	if err := ctx.DFS.WriteLines("commA.tsv", datagen.EdgeLines(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.DFS.WriteLines("commB.tsv", datagen.EdgeLines(bEdges)); err != nil {
+		t.Fatal(err)
+	}
+	b := ctx.NewPlan("crocopr")
+	ranks := BuildCrossCommunityPageRank(ctx,
+		b.ReadTextFile("dfs://commA.tsv"),
+		b.ReadTextFile("dfs://commB.tsv"), 10)
+	out, err := ranks.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no ranks produced")
+	}
+	// Only shared-core vertices can appear (private vertices are not in the
+	// intersection), and the output is rank-descending.
+	prev := 2.0
+	for _, q := range out {
+		kv := q.(core.KV)
+		r := kv.Value.(float64)
+		if r > prev {
+			t.Fatal("ranks not descending")
+		}
+		prev = r
+		if v := kv.Key.(int64); v >= 60+60 { // core + possible dst rewrite slack
+			t.Fatalf("private vertex %d leaked into shared pagerank", v)
+		}
+	}
+}

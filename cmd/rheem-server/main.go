@@ -1,0 +1,70 @@
+// Command rheem-server serves the REST interface (Section 5 of the paper):
+// clients POST RheemLatin scripts to /v1/run or /v1/explain and get JSON
+// back. The server ships the same demonstration UDF library as the rheem
+// CLI; embedders construct restapi.Server with their own registry.
+//
+//	rheem-server -addr :8080
+//	curl -X POST localhost:8080/v1/run -d '{"script": "..."}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/latin"
+	"rheem/restapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fast := flag.Bool("fast", false, "disable the simulated cluster latencies")
+	costs := flag.String("costs", "", "path to a learned cost table (JSON)")
+	dfsDir := flag.String("dfs", "", "DFS root directory (default: temporary)")
+	flag.Parse()
+
+	ctx, err := rheem.NewContext(rheem.Config{
+		FastSimulation: *fast,
+		CostTablePath:  *costs,
+		DFSDir:         *dfsDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rheem-server:", err)
+		os.Exit(1)
+	}
+	srv := restapi.New(ctx, serverUDFs())
+	log.Printf("rheem-server listening on %s (platforms: %v)", *addr, ctx.Registry.Mappings.Platforms())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serverUDFs is the demonstration UDF library (shared shape with cmd/rheem).
+func serverUDFs() *latin.Registry {
+	reg := latin.NewRegistry()
+	reg.RegisterFlatMap("splitWords", func(q any) []any {
+		fields := strings.Fields(q.(string))
+		out := make([]any, len(fields))
+		for i, w := range fields {
+			out[i] = core.KV{Key: w, Value: int64(1)}
+		}
+		return out
+	})
+	reg.RegisterKey("wordOf", func(q any) any { return q.(core.KV).Key })
+	reg.RegisterReduce("sumCounts", func(a, b any) any {
+		ka, kb := a.(core.KV), b.(core.KV)
+		return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
+	})
+	reg.RegisterMap("parseFloat", func(q any) any {
+		f, _ := strconv.ParseFloat(strings.TrimSpace(q.(string)), 64)
+		return f
+	})
+	reg.RegisterReduce("sum", func(a, b any) any { return a.(float64) + b.(float64) })
+	return reg
+}

@@ -1,0 +1,160 @@
+// Command rheem runs RheemLatin scripts on the cross-platform system: it
+// compiles the script against the registered UDF library, optimizes it over
+// all bundled platforms, and executes it — or, with --explain, prints the
+// plan and the chosen execution plan without running.
+//
+// Usage:
+//
+//	rheem [flags] script.latin
+//	rheem --demo              # run the built-in SGD demo script
+//
+// UDFs are Go functions; the CLI ships a demonstration library (word
+// splitting, numeric parsing, SGD operators) registered under the names the
+// bundled scripts use. Applications embed the latin package directly to
+// register their own.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/latin"
+)
+
+func main() {
+	explain := flag.Bool("explain", false, "print the plan and chosen execution plan; do not run")
+	demo := flag.Bool("demo", false, "run the built-in SGD demo script")
+	fast := flag.Bool("fast", false, "disable the simulated cluster latencies")
+	costs := flag.String("costs", "", "path to a learned cost table (JSON)")
+	dfsDir := flag.String("dfs", "", "DFS root directory (default: temporary)")
+	flag.Parse()
+
+	src := ""
+	switch {
+	case *demo:
+		src = demoScript
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(raw)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rheem [--explain] [--fast] [--costs table.json] script.latin | rheem --demo")
+		os.Exit(2)
+	}
+
+	ctx, err := rheem.NewContext(rheem.Config{
+		FastSimulation: *fast,
+		CostTablePath:  *costs,
+		DFSDir:         *dfsDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	udfs := demoUDFs(ctx)
+	compiled, err := latin.Compile(src, udfs)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		out, err := ctx.Explain(compiled.Plan)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	res, err := ctx.Execute(compiled.Plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed on platforms: %v (replans: %d)\n", res.Platforms(), res.Replans())
+	for name, sink := range compiled.Sinks {
+		data, err := res.CollectFrom(sink)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d quanta\n", name, len(data))
+		for i, q := range data {
+			if i >= 10 {
+				fmt.Printf("  ... (%d more)\n", len(data)-10)
+				break
+			}
+			fmt.Printf("  %v\n", q)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rheem:", err)
+	os.Exit(1)
+}
+
+// demoScript is Listing 1 of the paper, adapted to the Go UDF registry.
+const demoScript = `
+points = load collection points;
+cached = cache points;
+weights = load collection initialWeights;
+weights = repeat 30 over weights {
+	sampled = sample cached 20 method 'shuffle-first' seed 7;
+	gradient = map sampled using computeGradient with broadcast weights;
+	gsum = reduce gradient using sumGradients;
+	weights = map gsum using updateWeights with broadcast weights;
+};
+collect weights;
+`
+
+// demoUDFs registers the demonstration UDF library.
+func demoUDFs(ctx *rheem.Context) *latin.Registry {
+	reg := latin.NewRegistry()
+
+	// Text.
+	reg.RegisterFlatMap("splitWords", func(q any) []any {
+		fields := strings.Fields(q.(string))
+		out := make([]any, len(fields))
+		for i, w := range fields {
+			out[i] = core.KV{Key: w, Value: int64(1)}
+		}
+		return out
+	})
+	reg.RegisterKey("wordOf", func(q any) any { return q.(core.KV).Key })
+	reg.RegisterReduce("sumCounts", func(a, b any) any {
+		ka, kb := a.(core.KV), b.(core.KV)
+		return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
+	})
+
+	// Numbers.
+	reg.RegisterMap("parseFloat", func(q any) any {
+		f, _ := strconv.ParseFloat(strings.TrimSpace(q.(string)), 64)
+		return f
+	})
+	reg.RegisterReduce("sum", func(a, b any) any { return a.(float64) + b.(float64) })
+
+	// SGD demo: a 1-D mean-seeking gradient.
+	var w float64
+	readW := func(bc core.BroadcastCtx) {
+		ws := bc.Get("weights")
+		if len(ws) == 1 {
+			w = ws[0].(float64)
+		}
+	}
+	reg.RegisterMapCtx("computeGradient", readW, func(q any) any { return w - q.(float64) })
+	reg.RegisterReduce("sumGradients", func(a, b any) any { return a.(float64) + b.(float64) })
+	reg.RegisterMapCtx("updateWeights", readW, func(q any) any { return w - 0.05*q.(float64)/20 })
+
+	points := make([]any, 500)
+	for i := range points {
+		points[i] = float64(i%17) - 8
+	}
+	reg.RegisterCollection("points", points)
+	reg.RegisterCollection("initialWeights", []any{10.0})
+	return reg
+}

@@ -1,0 +1,350 @@
+// Package rheem is a cross-platform data processing system in Go: a
+// reproduction of RHEEM (PVLDB 11(11), 2018; the system behind the ICDE'18
+// tutorial "Cross-Platform Data Processing: Use Cases and Challenges", later
+// Apache Wayang). Applications compose platform-agnostic dataflow plans
+// through the fluent DataQuanta API (or the RheemLatin language in package
+// latin); a cost-based optimizer picks the best platform — or combination of
+// platforms — for every operator, plans cross-platform data movement over a
+// channel conversion graph, and an executor orchestrates the chosen
+// platforms, progressively re-optimizing when cardinality estimates prove
+// wrong.
+//
+// The bundled platforms are in-process miniature engines of the archetypes
+// the paper targets: a single-threaded iterator engine (JavaStreams), a
+// partitioned bulk-synchronous engine (Spark), a pipelined parallel
+// dataflow engine (Flink), an embedded relational store (Postgres), a BSP
+// vertex-centric graph engine (Giraph), a compact in-memory graph library
+// (JGraph), and a block-replicated distributed file system (HDFS).
+package rheem
+
+import (
+	"fmt"
+
+	"rheem/internal/core"
+	"rheem/internal/costlearn"
+	"rheem/internal/executor"
+	"rheem/internal/monitor"
+	"rheem/internal/optimizer"
+	"rheem/internal/platform/flink"
+	"rheem/internal/platform/graphmem"
+	"rheem/internal/platform/pregel"
+	"rheem/internal/platform/relstore"
+	"rheem/internal/platform/spark"
+	"rheem/internal/platform/streams"
+	"rheem/internal/progressive"
+	"rheem/internal/storage/dfs"
+)
+
+// Config configures a Context.
+type Config struct {
+	// DFSDir is the directory backing the DFS store; a temporary directory
+	// is created when empty.
+	DFSDir string
+	// DFSOptions tune the DFS (block size, replication, throttling).
+	DFSOptions dfs.Options
+	// Platforms enables a subset of platforms; nil enables all.
+	Platforms []string
+	// CostTablePath loads a learned cost table; empty uses the calibrated
+	// defaults.
+	CostTablePath string
+
+	// Engine overrides; zero values use each engine's defaults.
+	SparkConfig    spark.Config
+	FlinkConfig    flink.Config
+	RelstoreConfig relstore.Config
+	PregelConfig   pregel.Config
+
+	// FastSimulation removes the scaled-down cluster latencies (context
+	// startup, job dispatch, shuffle barriers). Unit-style workloads use it;
+	// experiments reproduce the paper's overheads with it off.
+	FastSimulation bool
+}
+
+// Context is the entry point: it owns the platform registry, the storage
+// substrates, the cost model, and execution services.
+type Context struct {
+	Registry *core.Registry
+	DFS      *dfs.Store
+	Costs    *optimizer.CostTable
+
+	relStores map[string]*relstore.Store
+	relDriver *relstore.Driver
+	planSeq   int
+}
+
+// AllPlatforms lists the bundled platform names.
+func AllPlatforms() []string {
+	return []string{"streams", "spark", "flink", "relstore", "pregel", "graphmem"}
+}
+
+// NewContext builds a context with the configured platforms registered.
+func NewContext(cfg Config) (*Context, error) {
+	var store *dfs.Store
+	var err error
+	if cfg.DFSDir != "" {
+		store, err = dfs.New(cfg.DFSDir, cfg.DFSOptions)
+	} else {
+		store, err = dfs.NewTemp(cfg.DFSOptions)
+	}
+	if err != nil {
+		return nil, err
+	}
+	singleNodeSlowdown := 4.0
+	if cfg.FastSimulation {
+		tiny := 0.001
+		cfg.SparkConfig.ContextStartupMs, cfg.SparkConfig.JobStartupMs, cfg.SparkConfig.ShuffleLatencyMs = tiny, tiny, tiny
+		cfg.FlinkConfig.ContextStartupMs, cfg.FlinkConfig.JobStartupMs, cfg.FlinkConfig.ExchangeLatencyMs = tiny, tiny, tiny
+		cfg.PregelConfig.ContextStartupMs, cfg.PregelConfig.SuperstepMs = tiny, tiny
+		cfg.RelstoreConfig.QueryLatencyMs = tiny
+		cfg.RelstoreConfig.SimSlowdown = 1
+		singleNodeSlowdown = 1
+	}
+
+	ctx := &Context{
+		Registry:  core.NewRegistry(),
+		DFS:       store,
+		relStores: map[string]*relstore.Store{},
+	}
+	enabled := map[string]bool{}
+	if len(cfg.Platforms) == 0 {
+		for _, p := range AllPlatforms() {
+			enabled[p] = true
+		}
+	} else {
+		for _, p := range cfg.Platforms {
+			enabled[p] = true
+		}
+	}
+	ctx.relDriver = relstore.New(cfg.RelstoreConfig)
+	streamsDriver := streams.New(store)
+	streamsDriver.SimSlowdown = singleNodeSlowdown
+	graphmemDriver := graphmem.New()
+	graphmemDriver.SimSlowdown = singleNodeSlowdown
+	drivers := map[string]core.Driver{
+		"streams":  streamsDriver,
+		"spark":    spark.NewWithConfig(store, cfg.SparkConfig),
+		"flink":    flink.NewWithConfig(store, cfg.FlinkConfig),
+		"relstore": ctx.relDriver,
+		"pregel":   pregel.NewWithConfig(cfg.PregelConfig),
+		"graphmem": graphmemDriver,
+	}
+	for _, name := range AllPlatforms() {
+		if !enabled[name] {
+			continue
+		}
+		if err := ctx.Registry.Register(drivers[name]); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CostTablePath != "" {
+		ctx.Costs, err = optimizer.LoadCostTable(cfg.CostTablePath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ctx.Costs = optimizer.DefaultCostTable(ctx.Registry.Mappings.Platforms())
+	}
+	return ctx, nil
+}
+
+// RelStore returns (creating on first use) a named relational store
+// instance attached to the relstore platform — one simulated database
+// server per name.
+func (c *Context) RelStore(name string) *relstore.Store {
+	if s, ok := c.relStores[name]; ok {
+		return s
+	}
+	s := relstore.NewStore(name)
+	c.relStores[name] = s
+	c.relDriver.Attach(s)
+	return s
+}
+
+// resolver assembles the source-cardinality resolvers for this context.
+func (c *Context) resolver() optimizer.SourceResolver {
+	return optimizer.ChainResolvers(
+		optimizer.DFSSourceResolver(c.DFS),
+		optimizer.LocalFileResolver(),
+		optimizer.TableStatsResolver(func(store, table string) (int64, bool) {
+			s, ok := c.relStores[store]
+			if !ok && len(c.relStores) == 1 && store == "" {
+				for _, only := range c.relStores {
+					s, ok = only, true
+				}
+			}
+			if !ok {
+				return 0, false
+			}
+			t, err := s.Table(table)
+			if err != nil {
+				return 0, false
+			}
+			return int64(t.RowCount()), true
+		}),
+	)
+}
+
+// StageLog re-exports the cost learner's training record so API users can
+// collect execution logs without importing internal packages.
+type StageLog = costlearn.StageLog
+
+// ExecOption tunes one Execute call.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	progressive    bool
+	mismatchFactor float64
+	exhaustive     bool
+	monetary       bool
+	sniffers       map[*core.Operator]func(any)
+	collectLogs    *[]StageLog
+}
+
+// WithProgressive enables (default) or disables progressive re-optimization.
+func WithProgressive(enabled bool) ExecOption {
+	return func(ec *execConfig) { ec.progressive = enabled }
+}
+
+// WithMismatchFactor sets the re-optimization trigger threshold.
+func WithMismatchFactor(f float64) ExecOption {
+	return func(ec *execConfig) { ec.mismatchFactor = f }
+}
+
+// WithExhaustiveEnumeration switches the optimizer to the (exponential)
+// unpruned enumeration — the pruning ablation.
+func WithExhaustiveEnumeration() ExecOption {
+	return func(ec *execConfig) { ec.exhaustive = true }
+}
+
+// WithMonetaryObjective optimizes for monetary cost instead of runtime:
+// each platform's estimated time is weighted by its hourly rate, so cheap
+// single-node platforms win even where the cluster would be faster.
+func WithMonetaryObjective() ExecOption {
+	return func(ec *execConfig) { ec.monetary = true }
+}
+
+// WithSniffer attaches an exploratory-mode observer to an operator's output.
+func WithSniffer(op *core.Operator, fn func(any)) ExecOption {
+	return func(ec *execConfig) {
+		if ec.sniffers == nil {
+			ec.sniffers = map[*core.Operator]func(any){}
+		}
+		ec.sniffers[op] = fn
+	}
+}
+
+// WithLogCollection appends the run's stage logs (cost-learner training
+// data) to the given slice.
+func WithLogCollection(logs *[]StageLog) ExecOption {
+	return func(ec *execConfig) { ec.collectLogs = logs }
+}
+
+// Result is the outcome of an executed plan.
+type Result struct {
+	inner *executor.Result
+	ep    *core.ExecPlan
+	mon   *monitor.Monitor
+}
+
+// Collect returns the quanta of the plan's only sink.
+func (r *Result) Collect() ([]any, error) { return r.inner.FirstSinkData() }
+
+// CollectFrom returns the quanta of a specific sink.
+func (r *Result) CollectFrom(sink *core.Operator) ([]any, error) { return r.inner.SinkData(sink) }
+
+// Replans reports how many progressive re-optimizations occurred.
+func (r *Result) Replans() int { return r.inner.Replans }
+
+// Platforms reports the platforms the executed plan used.
+func (r *Result) Platforms() []string { return r.ep.Platforms() }
+
+// Plan returns the executed plan (possibly re-optimized).
+func (r *Result) Plan() *core.ExecPlan { return r.ep }
+
+// Monitor exposes the run's collected statistics.
+func (r *Result) Monitor() *monitor.Monitor { return r.mon }
+
+// Optimize compiles a plan without executing it (the --explain path).
+func (c *Context) Optimize(p *core.Plan, options ...ExecOption) (*core.ExecPlan, error) {
+	ec := newExecConfig(options)
+	return optimizer.Optimize(p, c.optimizerOptions(ec))
+}
+
+func newExecConfig(options []ExecOption) *execConfig {
+	ec := &execConfig{progressive: true, mismatchFactor: 4}
+	for _, o := range options {
+		o(ec)
+	}
+	return ec
+}
+
+func (c *Context) optimizerOptions(ec *execConfig) optimizer.Options {
+	opts := optimizer.Options{
+		Registry:   c.Registry,
+		Costs:      c.Costs,
+		Resolve:    c.resolver(),
+		Exhaustive: ec.exhaustive,
+	}
+	if ec.monetary {
+		opts.Objective = optimizer.ObjectiveMonetary
+	}
+	return opts
+}
+
+// Execute optimizes and runs a plan.
+func (c *Context) Execute(p *core.Plan, options ...ExecOption) (*Result, error) {
+	ec := newExecConfig(options)
+	opts := c.optimizerOptions(ec)
+	ep, err := optimizer.Optimize(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.execute(p, ep, opts, ec)
+}
+
+// ExecutePlanned runs an already-optimized plan (used by the experiment
+// harness to measure optimization and execution separately).
+func (c *Context) ExecutePlanned(p *core.Plan, ep *core.ExecPlan, options ...ExecOption) (*Result, error) {
+	ec := newExecConfig(options)
+	return c.execute(p, ep, c.optimizerOptions(ec), ec)
+}
+
+func (c *Context) execute(p *core.Plan, ep *core.ExecPlan, opts optimizer.Options, ec *execConfig) (*Result, error) {
+	mon := monitor.New()
+	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers}
+	var re *progressive.Reoptimizer
+	if ec.progressive {
+		re = progressive.New(p, ep, opts)
+		re.MismatchFactor = ec.mismatchFactor
+		ex.Checkpoint = re.Checkpoint
+	}
+	res, err := ex.Run(ep)
+	if err != nil {
+		return nil, err
+	}
+	finalEP := ep
+	if re != nil {
+		finalEP = re.Current()
+	}
+	if ec.collectLogs != nil {
+		*ec.collectLogs = append(*ec.collectLogs, costlearn.LogsFromStats(finalEP, res.Stats)...)
+		for _, body := range finalEP.LoopBodies {
+			*ec.collectLogs = append(*ec.collectLogs, costlearn.LogsFromStats(body, res.Stats)...)
+		}
+	}
+	return &Result{inner: res, ep: finalEP, mon: mon}, nil
+}
+
+// Explain renders the plan and its chosen execution plan.
+func (c *Context) Explain(p *core.Plan, options ...ExecOption) (string, error) {
+	ep, err := c.Optimize(p, options...)
+	if err != nil {
+		return "", err
+	}
+	return p.String() + "\n" + ep.String(), nil
+}
+
+func (c *Context) nextPlanName(prefix string) string {
+	c.planSeq++
+	return fmt.Sprintf("%s-%d", prefix, c.planSeq)
+}

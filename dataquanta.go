@@ -1,0 +1,357 @@
+package rheem
+
+import (
+	"rheem/internal/core"
+)
+
+// PlanBuilder composes a RheemPlan through the fluent DataQuanta API.
+type PlanBuilder struct {
+	ctx  *Context
+	plan *core.Plan
+}
+
+// NewPlan starts building a plan.
+func (c *Context) NewPlan(name string) *PlanBuilder {
+	if name == "" {
+		name = c.nextPlanName("plan")
+	}
+	return &PlanBuilder{ctx: c, plan: core.NewPlan(name)}
+}
+
+// Plan returns the underlying plan (for Execute/Explain).
+func (b *PlanBuilder) Plan() *core.Plan { return b.plan }
+
+// DataQuanta is a handle to one operator's output within a plan under
+// construction; every transformation appends an operator and returns the
+// new handle.
+type DataQuanta struct {
+	b  *PlanBuilder
+	op *core.Operator
+}
+
+// Op exposes the underlying operator (for pinning, sniffers, hints).
+func (d *DataQuanta) Op() *core.Operator { return d.op }
+
+// Builder returns the plan builder this handle belongs to.
+func (d *DataQuanta) Builder() *PlanBuilder { return d.b }
+
+// WithTargetPlatform pins the latest operator to a platform.
+func (d *DataQuanta) WithTargetPlatform(platform string) *DataQuanta {
+	d.op.TargetPlatform = platform
+	return d
+}
+
+// WithSelectivity attaches a selectivity hint to the latest operator.
+func (d *DataQuanta) WithSelectivity(sel float64) *DataQuanta {
+	d.op.Selectivity = sel
+	return d
+}
+
+// WithBroadcast feeds the full output of src to this operator as broadcast
+// side data; the operator's UDF receives it via Open under src's label.
+func (d *DataQuanta) WithBroadcast(src *DataQuanta) *DataQuanta {
+	d.b.plan.Broadcast(src.op, d.op)
+	return d
+}
+
+// --- Sources ---
+
+// ReadTextFile reads lines from a local or dfs:// path.
+func (b *PlanBuilder) ReadTextFile(path string) *DataQuanta {
+	op := b.plan.NewOperator(core.KindTextFileSource, "read")
+	op.Params.Path = path
+	return &DataQuanta{b: b, op: op}
+}
+
+// LoadCollection emits an in-memory collection.
+func (b *PlanBuilder) LoadCollection(label string, data []any) *DataQuanta {
+	op := b.plan.NewOperator(core.KindCollectionSource, label)
+	if data == nil {
+		data = []any{}
+	}
+	op.Params.Collection = data
+	return &DataQuanta{b: b, op: op}
+}
+
+// ReadTable scans a relational-store table with optional projection and a
+// push-down predicate.
+func (b *PlanBuilder) ReadTable(store, table string, columns []int, where *core.Predicate) *DataQuanta {
+	op := b.plan.NewOperator(core.KindTableSource, table)
+	op.Params.Store = store
+	op.Params.Table = table
+	op.Params.Columns = columns
+	op.Params.Where = where
+	return &DataQuanta{b: b, op: op}
+}
+
+// CustomOperator appends a caller-constructed operator, wiring the given
+// inputs; the escape hatch for application-specific execution operators.
+func (b *PlanBuilder) CustomOperator(op *core.Operator, inputs ...*DataQuanta) *DataQuanta {
+	b.plan.Add(op)
+	for port, in := range inputs {
+		b.plan.Connect(in.op, op, port)
+	}
+	return &DataQuanta{b: b, op: op}
+}
+
+// --- Unary transformations ---
+
+func (d *DataQuanta) unary(k core.Kind, label string) *DataQuanta {
+	op := d.b.plan.NewOperator(k, label)
+	d.b.plan.Connect(d.op, op, 0)
+	return &DataQuanta{b: d.b, op: op}
+}
+
+// Map transforms each quantum.
+func (d *DataQuanta) Map(label string, f func(any) any) *DataQuanta {
+	n := d.unary(core.KindMap, label)
+	n.op.UDF.Map = f
+	return n
+}
+
+// MapWithCtx is Map for UDFs that consume broadcast side inputs: open runs
+// once per stage execution with the broadcast context.
+func (d *DataQuanta) MapWithCtx(label string, open func(core.BroadcastCtx), f func(any) any) *DataQuanta {
+	n := d.unary(core.KindMap, label)
+	n.op.UDF.Open = open
+	n.op.UDF.Map = f
+	return n
+}
+
+// FlatMap expands each quantum into zero or more quanta.
+func (d *DataQuanta) FlatMap(label string, f func(any) []any) *DataQuanta {
+	n := d.unary(core.KindFlatMap, label)
+	n.op.UDF.FlatMap = f
+	return n
+}
+
+// Filter keeps the quanta satisfying pred.
+func (d *DataQuanta) Filter(label string, pred func(any) bool) *DataQuanta {
+	n := d.unary(core.KindFilter, label)
+	n.op.UDF.Pred = pred
+	return n
+}
+
+// FilterWhere keeps the records satisfying a declarative predicate, which
+// relational platforms can push into scans and indexes.
+func (d *DataQuanta) FilterWhere(label string, where core.Predicate) *DataQuanta {
+	n := d.unary(core.KindFilter, label)
+	n.op.Params.Where = &where
+	return n
+}
+
+// MapPartitions transforms whole partitions.
+func (d *DataQuanta) MapPartitions(label string, f func([]any) []any) *DataQuanta {
+	n := d.unary(core.KindMapPart, label)
+	n.op.UDF.MapPart = f
+	return n
+}
+
+// Project keeps the given record columns.
+func (d *DataQuanta) Project(columns ...int) *DataQuanta {
+	n := d.unary(core.KindProject, "project")
+	n.op.Params.Columns = columns
+	return n
+}
+
+// Sample draws a sample. method is "bernoulli", "reservoir" or
+// "shuffle-first"; size <= 0 uses fraction.
+func (d *DataQuanta) Sample(method string, size int, fraction float64, seed int64) *DataQuanta {
+	n := d.unary(core.KindSample, "sample")
+	n.op.Params.SampleMethod = method
+	n.op.Params.SampleSize = size
+	n.op.Params.SampleFraction = fraction
+	n.op.Params.Seed = seed
+	return n
+}
+
+// Distinct removes duplicate quanta.
+func (d *DataQuanta) Distinct() *DataQuanta { return d.unary(core.KindDistinct, "distinct") }
+
+// Sort orders quanta by less (nil uses the canonical ordering).
+func (d *DataQuanta) Sort(less func(a, b any) bool) *DataQuanta {
+	n := d.unary(core.KindSort, "sort")
+	n.op.UDF.Less = less
+	return n
+}
+
+// Count yields the single quantum int64 count.
+func (d *DataQuanta) Count() *DataQuanta { return d.unary(core.KindCount, "count") }
+
+// Reduce folds all quanta into one.
+func (d *DataQuanta) Reduce(label string, f func(a, b any) any) *DataQuanta {
+	n := d.unary(core.KindReduce, label)
+	n.op.UDF.Reduce = f
+	return n
+}
+
+// ReduceBy folds quanta per key.
+func (d *DataQuanta) ReduceBy(label string, key func(any) any, reduce func(a, b any) any) *DataQuanta {
+	n := d.unary(core.KindReduceBy, label)
+	n.op.UDF.Key = key
+	n.op.UDF.Reduce = reduce
+	return n
+}
+
+// GroupBy materializes Groups per key.
+func (d *DataQuanta) GroupBy(label string, key func(any) any) *DataQuanta {
+	n := d.unary(core.KindGroupBy, label)
+	n.op.UDF.Key = key
+	return n
+}
+
+// ZipWithID pairs each quantum with a unique dense id.
+func (d *DataQuanta) ZipWithID() *DataQuanta { return d.unary(core.KindZipWithID, "zip") }
+
+// Cache materializes the output for cheap reuse (loops, multiple readers).
+func (d *DataQuanta) Cache() *DataQuanta { return d.unary(core.KindCache, "cache") }
+
+// PageRank treats the quanta as edges and yields KV{vertex, rank}.
+func (d *DataQuanta) PageRank(iterations int, damping float64) *DataQuanta {
+	n := d.unary(core.KindPageRank, "pagerank")
+	n.op.Params.Iterations = iterations
+	n.op.Params.DampingFactor = damping
+	return n
+}
+
+// --- Binary operators ---
+
+func (d *DataQuanta) binary(k core.Kind, label string, other *DataQuanta) *DataQuanta {
+	op := d.b.plan.NewOperator(k, label)
+	d.b.plan.Connect(d.op, op, 0)
+	d.b.plan.Connect(other.op, op, 1)
+	return &DataQuanta{b: d.b, op: op}
+}
+
+// Join equi-joins on extracted keys; combine defaults to Record{l, r}.
+func (d *DataQuanta) Join(other *DataQuanta, key, keyRight func(any) any, combine func(l, r any) any) *DataQuanta {
+	n := d.binary(core.KindJoin, "join", other)
+	n.op.UDF.Key = key
+	n.op.UDF.KeyRight = keyRight
+	n.op.UDF.Combine = combine
+	return n
+}
+
+// IEJoin inequality-joins under two conditions over numeric attributes.
+func (d *DataQuanta) IEJoin(other *DataQuanta,
+	leftNums, rightNums func(any) (float64, float64),
+	op1, op2 core.Inequality, combine func(l, r any) any) *DataQuanta {
+	n := d.binary(core.KindIEJoin, "iejoin", other)
+	n.op.UDF.LeftNums = leftNums
+	n.op.UDF.RightNums = rightNums
+	n.op.Params.IEOp1 = op1
+	n.op.Params.IEOp2 = op2
+	n.op.UDF.Combine = combine
+	return n
+}
+
+// Cartesian crosses the two inputs.
+func (d *DataQuanta) Cartesian(other *DataQuanta, combine func(l, r any) any) *DataQuanta {
+	n := d.binary(core.KindCartesian, "cartesian", other)
+	n.op.UDF.Combine = combine
+	return n
+}
+
+// Union concatenates the inputs.
+func (d *DataQuanta) Union(other *DataQuanta) *DataQuanta {
+	return d.binary(core.KindUnion, "union", other)
+}
+
+// Intersect keeps distinct quanta present on both sides.
+func (d *DataQuanta) Intersect(other *DataQuanta) *DataQuanta {
+	return d.binary(core.KindIntersect, "intersect", other)
+}
+
+// CoGroup groups both sides per key into Records of (key, left, right).
+func (d *DataQuanta) CoGroup(other *DataQuanta, key, keyRight func(any) any) *DataQuanta {
+	n := d.binary(core.KindCoGroup, "cogroup", other)
+	n.op.UDF.Key = key
+	n.op.UDF.KeyRight = keyRight
+	return n
+}
+
+// --- Loops ---
+
+// LoopBody scopes the construction of a loop's nested plan.
+type LoopBody struct {
+	b    *PlanBuilder // builder over the nested body plan
+	loop *core.Operator
+}
+
+// Var returns the loop-carried value (the loop input placeholder).
+func (l *LoopBody) Var(label string) *DataQuanta {
+	if l.b.plan.LoopInput != nil {
+		return &DataQuanta{b: l.b, op: l.b.plan.LoopInput}
+	}
+	op := l.b.plan.NewOperator(core.KindCollectionSource, label)
+	l.b.plan.LoopInput = op
+	return &DataQuanta{b: l.b, op: op}
+}
+
+// Read references the output of an operator of the surrounding plan, which
+// the executor materializes before the loop starts.
+func (l *LoopBody) Read(outer *DataQuanta) *DataQuanta {
+	op := l.b.plan.NewOperator(core.KindCollectionSource, outer.op.Label)
+	op.OuterRef = outer.op
+	return &DataQuanta{b: l.b, op: op}
+}
+
+// Yield designates the next loop-carried value (the body's output).
+func (l *LoopBody) Yield(result *DataQuanta) { l.b.plan.LoopOutput = result.op }
+
+// Repeat iterates body a fixed number of times over the loop-carried value
+// seeded by d, returning the final value.
+func (d *DataQuanta) Repeat(iterations int, body func(*LoopBody)) *DataQuanta {
+	loop := d.b.plan.NewOperator(core.KindRepeat, "repeat")
+	loop.Params.Iterations = iterations
+	d.b.plan.Connect(d.op, loop, 0)
+	bodyPlan := core.NewPlan(d.b.plan.Name + "-body")
+	lb := &LoopBody{b: &PlanBuilder{ctx: d.b.ctx, plan: bodyPlan}, loop: loop}
+	body(lb)
+	loop.Body = bodyPlan
+	return &DataQuanta{b: d.b, op: loop}
+}
+
+// DoWhile iterates body until cond returns false (checked before each
+// round with the round number and the current value), bounded by maxIters.
+func (d *DataQuanta) DoWhile(maxIters int, cond func(round int, current []any) bool, body func(*LoopBody)) *DataQuanta {
+	loop := d.b.plan.NewOperator(core.KindDoWhile, "do-while")
+	loop.Params.MaxIterations = maxIters
+	loop.UDF.Cond = cond
+	d.b.plan.Connect(d.op, loop, 0)
+	bodyPlan := core.NewPlan(d.b.plan.Name + "-body")
+	lb := &LoopBody{b: &PlanBuilder{ctx: d.b.ctx, plan: bodyPlan}, loop: loop}
+	body(lb)
+	loop.Body = bodyPlan
+	return &DataQuanta{b: d.b, op: loop}
+}
+
+// --- Sinks & execution ---
+
+// CollectSink appends a collection sink and returns its operator (to read
+// the results from a Result).
+func (d *DataQuanta) CollectSink() *core.Operator {
+	op := d.b.plan.NewOperator(core.KindCollectionSink, "collect")
+	d.b.plan.Connect(d.op, op, 0)
+	return op
+}
+
+// WriteTextFile appends a text-file sink (local or dfs:// path).
+func (d *DataQuanta) WriteTextFile(path string, format func(any) string) *core.Operator {
+	op := d.b.plan.NewOperator(core.KindTextFileSink, "write")
+	op.Params.Path = path
+	op.UDF.Format = format
+	d.b.plan.Connect(d.op, op, 0)
+	return op
+}
+
+// Collect executes the plan and returns this handle's materialized quanta
+// (appending a sink if needed) — the one-call path for simple tasks.
+func (d *DataQuanta) Collect(options ...ExecOption) ([]any, error) {
+	sink := d.CollectSink()
+	res, err := d.b.ctx.Execute(d.b.plan, options...)
+	if err != nil {
+		return nil, err
+	}
+	return res.CollectFrom(sink)
+}

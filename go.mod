@@ -1,0 +1,3 @@
+module rheem
+
+go 1.22

@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"sort"
+
+	"rheem/internal/core"
+)
+
+// IEJoin computes the inequality join of two relations under two inequality
+// conditions:
+//
+//	left.x  op1  right.x'   AND   left.y  op2  right.y'
+//
+// where (x, y) are extracted from left quanta by leftNums and (x', y') from
+// right quanta by rightNums. It is the sort-based bitset-scan algorithm of
+// the IEJoin family (Khayyat et al., PVLDB 2015): both sides are sorted on
+// the first attribute, a single sweep inserts left tuples into a bit set
+// ordered by the second attribute, and matches are reported by scanning the
+// qualifying prefix of the bit set. Runtime is O(n log n + m log m + output)
+// instead of the O(n·m) of a cartesian product with a post-filter.
+//
+// emit is called once per matching (left, right) pair.
+func IEJoin(
+	left, right []any,
+	leftNums func(any) (float64, float64),
+	rightNums func(any) (float64, float64),
+	op1, op2 core.Inequality,
+	emit func(l, r any),
+) {
+	if len(left) == 0 || len(right) == 0 {
+		return
+	}
+	// Normalize both conditions to "<" or "<=" by negating the compared
+	// attribute on both sides (a > b  <=>  -a < -b).
+	neg1 := op1 == core.Greater || op1 == core.GreaterEq
+	neg2 := op2 == core.Greater || op2 == core.GreaterEq
+	strict1 := op1 == core.Less || op1 == core.Greater
+	strict2 := op2 == core.Less || op2 == core.Greater
+
+	type side struct {
+		q    any
+		x, y float64
+	}
+	ls := make([]side, len(left))
+	for i, q := range left {
+		x, y := leftNums(q)
+		if neg1 {
+			x = -x
+		}
+		if neg2 {
+			y = -y
+		}
+		ls[i] = side{q: q, x: x, y: y}
+	}
+	rs := make([]side, len(right))
+	for i, q := range right {
+		x, y := rightNums(q)
+		if neg1 {
+			x = -x
+		}
+		if neg2 {
+			y = -y
+		}
+		rs[i] = side{q: q, x: x, y: y}
+	}
+
+	// Rank left tuples by their second attribute; the bit set is indexed by
+	// this rank so a prefix scan enumerates exactly the tuples with small y.
+	byY := make([]int, len(ls))
+	for i := range byY {
+		byY[i] = i
+	}
+	sort.SliceStable(byY, func(a, b int) bool { return ls[byY[a]].y < ls[byY[b]].y })
+	rankOf := make([]int, len(ls)) // left index -> y-rank
+	ys := make([]float64, len(ls)) // y values in rank order
+	for rank, li := range byY {
+		rankOf[li] = rank
+		ys[rank] = ls[li].y
+	}
+
+	// Sweep order: both sides ascending in the (normalized) first attribute.
+	lOrder := make([]int, len(ls))
+	for i := range lOrder {
+		lOrder[i] = i
+	}
+	sort.SliceStable(lOrder, func(a, b int) bool { return ls[lOrder[a]].x < ls[lOrder[b]].x })
+	rOrder := make([]int, len(rs))
+	for i := range rOrder {
+		rOrder[i] = i
+	}
+	sort.SliceStable(rOrder, func(a, b int) bool { return rs[rOrder[a]].x < rs[rOrder[b]].x })
+
+	inserted := NewBitset(len(ls))
+	li := 0
+	for _, ri := range rOrder {
+		r := rs[ri]
+		// Insert every left tuple whose x satisfies condition 1 against r.x.
+		for li < len(lOrder) {
+			l := ls[lOrder[li]]
+			if (strict1 && l.x < r.x) || (!strict1 && l.x <= r.x) {
+				inserted.Set(rankOf[lOrder[li]])
+				li++
+			} else {
+				break
+			}
+		}
+		// Qualifying prefix of the y-ranked bit set.
+		var bound int
+		if strict2 {
+			bound = sort.SearchFloat64s(ys, r.y) // first index with ys[i] >= r.y
+		} else {
+			bound = sort.Search(len(ys), func(i int) bool { return ys[i] > r.y })
+		}
+		if bound == 0 {
+			continue
+		}
+		inserted.ScanRange(0, bound, func(rank int) {
+			emit(ls[byY[rank]].q, r.q)
+		})
+	}
+}
+
+// IEJoinCount is IEJoin but only counts matches; used when only violation
+// counts are needed (e.g. progress reporting) without materializing pairs.
+func IEJoinCount(
+	left, right []any,
+	leftNums func(any) (float64, float64),
+	rightNums func(any) (float64, float64),
+	op1, op2 core.Inequality,
+) int64 {
+	var n int64
+	IEJoin(left, right, leftNums, rightNums, op1, op2, func(l, r any) { n++ })
+	return n
+}

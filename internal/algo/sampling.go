@@ -1,0 +1,80 @@
+package algo
+
+import "math/rand"
+
+// Sampling methods used by the Sample operator. All methods are
+// deterministic given their seed, so experiments are reproducible.
+
+// BernoulliSample keeps each quantum independently with probability p.
+func BernoulliSample(data []any, p float64, seed int64) []any {
+	if p >= 1 {
+		return data
+	}
+	if p <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]any, 0, int(float64(len(data))*p)+1)
+	for _, q := range data {
+		if rng.Float64() < p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ReservoirSample draws a uniform random sample of exactly min(k, n) quanta
+// using reservoir sampling (one pass, O(n)).
+func ReservoirSample(data []any, k int, seed int64) []any {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(data) {
+		out := make([]any, len(data))
+		copy(out, data)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]any, k)
+	copy(out, data[:k])
+	for i := k; i < len(data); i++ {
+		if j := rng.Intn(i + 1); j < k {
+			out[j] = data[i]
+		}
+	}
+	return out
+}
+
+// ShuffleFirstSample is the IO-efficient sampler contributed for ML4all in
+// the paper: shuffle once (cheaply, via an index permutation) and then take
+// consecutive slices per call. Successive calls with increasing round values
+// return successive windows, avoiding a full pass per sample.
+type ShuffleFirstSample struct {
+	perm []int
+	data []any
+}
+
+// NewShuffleFirstSample prepares the one-time permutation.
+func NewShuffleFirstSample(data []any, seed int64) *ShuffleFirstSample {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(data))
+	return &ShuffleFirstSample{perm: perm, data: data}
+}
+
+// Draw returns the k-quantum window for the given round, wrapping around the
+// permutation as needed.
+func (s *ShuffleFirstSample) Draw(k, round int) []any {
+	n := len(s.data)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]any, k)
+	start := (round * k) % n
+	for i := 0; i < k; i++ {
+		out[i] = s.data[s.perm[(start+i)%n]]
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package baselines
+
+import (
+	"testing"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/internal/datagen"
+	"rheem/internal/tasks"
+)
+
+func fastCtx(t *testing.T) *rheem.Context {
+	t.Helper()
+	ctx, err := rheem.NewContext(rheem.Config{FastSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestNadeefAndSparkSQLAgree(t *testing.T) {
+	ctx := fastCtx(t)
+	records := datagen.TaxRecords(150, 0.1, 13)
+	quanta := make([]any, len(records))
+	for i, r := range records {
+		quanta[i] = r
+	}
+	nadeef := NadeefDetect(records, datagen.TaxColSalary, datagen.TaxColTax, core.Greater, core.Less)
+	sparksql, err := SparkSQLDetect(ctx, quanta, datagen.TaxColSalary, datagen.TaxColTax, core.Greater, core.Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nadeef != sparksql {
+		t.Fatalf("NADEEF %d != SparkSQL %d", nadeef, sparksql)
+	}
+	if nadeef == 0 {
+		t.Fatal("no violations in fixture")
+	}
+}
+
+func TestMusketeerRunsWordCount(t *testing.T) {
+	ctx := fastCtx(t)
+	if err := ctx.DFS.WriteLines("mwc.txt", []string{"a b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := tasks.WordCount(ctx, "dfs://mwc.txt")
+	out, err := MusketeerRun(ctx, b.Plan(), MusketeerConfig{CodegenMs: 0.1, SmallInputRows: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, q := range out {
+		kv := q.(core.KV)
+		counts[kv.Key.(string)] = kv.Value.(int64)
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMusketeerRunsLoopTask(t *testing.T) {
+	// An SGD-like loop through Musketeer: correctness preserved, every
+	// iteration re-staged.
+	ctx := fastCtx(t)
+	b := ctx.NewPlan("mini-sgd")
+	pts := make([]any, 40)
+	for i := range pts {
+		pts[i] = float64(i % 5)
+	}
+	points := b.LoadCollection("points", pts).Cache()
+	weights := b.LoadCollection("weights", []any{10.0})
+	var w float64
+	readW := func(bc core.BroadcastCtx) { w = bc.Get("w")[0].(float64) }
+	final := weights.Repeat(5, func(l *rheem.LoopBody) {
+		wv := l.Var("w")
+		upd := l.Read(points).
+			MapWithCtx("grad", readW, func(q any) any { return w - q.(float64) }).
+			WithBroadcast(wv).
+			Reduce("sum", func(a, b any) any { return a.(float64) + b.(float64) }).
+			MapWithCtx("update", readW, func(q any) any { return w - 0.05*q.(float64)/40 }).
+			WithBroadcast(wv)
+		l.Yield(upd)
+	})
+	final.CollectSink()
+	out, err := MusketeerRun(ctx, b.Plan(), MusketeerConfig{CodegenMs: 0.1, SmallInputRows: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("weights = %v", out)
+	}
+	got := out[0].(float64)
+	if got >= 10.0 || got < 2.0 { // moved from 10 toward the mean 2
+		t.Fatalf("weight = %f", got)
+	}
+}
+
+func TestMusketeerPlatformRule(t *testing.T) {
+	// Big inputs route to spark, small to streams; this is observable via
+	// the DFS spill files always being written (one per stage).
+	ctx := fastCtx(t)
+	before := len(ctx.DFS.List())
+	b := ctx.NewPlan("rule")
+	b.LoadCollection("data", []any{int64(1), int64(2)}).
+		Map("id", func(q any) any { return q }).
+		CollectSink()
+	if _, err := MusketeerRun(ctx, b.Plan(), MusketeerConfig{CodegenMs: 0.1, SmallInputRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	after := len(ctx.DFS.List())
+	if after <= before {
+		t.Fatal("Musketeer did not materialize stages to DFS")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CardEstimate is an interval-based cardinality estimate with a confidence
+// value, the optimizer's unit of uncertainty (Section 4.1, Figure 6).
+type CardEstimate struct {
+	Low, High  int64
+	Confidence float64 // in (0, 1]
+}
+
+// ExactCard returns a certain estimate for a known cardinality.
+func ExactCard(n int64) CardEstimate {
+	if n < 0 {
+		n = 0
+	}
+	return CardEstimate{Low: n, High: n, Confidence: 1}
+}
+
+// Geomean returns the geometric mean of the interval bounds, the scalar the
+// cost model plugs into resource-usage functions.
+func (c CardEstimate) Geomean() float64 {
+	lo, hi := float64(c.Low), float64(c.High)
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// Mid returns the arithmetic midpoint of the interval.
+func (c CardEstimate) Mid() float64 { return (float64(c.Low) + float64(c.High)) / 2 }
+
+// Scale multiplies the interval by a selectivity factor.
+func (c CardEstimate) Scale(f float64) CardEstimate {
+	if f < 0 {
+		f = 0
+	}
+	return CardEstimate{
+		Low:        int64(float64(c.Low) * f),
+		High:       clampMulF(float64(c.High), f),
+		Confidence: c.Confidence,
+	}
+}
+
+// Add sums two interval estimates; confidence is the minimum of the two.
+func (c CardEstimate) Add(o CardEstimate) CardEstimate {
+	return CardEstimate{
+		Low:        clampAdd(c.Low, o.Low),
+		High:       clampAdd(c.High, o.High),
+		Confidence: math.Min(c.Confidence, o.Confidence),
+	}
+}
+
+// Mul multiplies two interval estimates (e.g. for cartesian products).
+func (c CardEstimate) Mul(o CardEstimate) CardEstimate {
+	return CardEstimate{
+		Low:        clampMul(c.Low, o.Low),
+		High:       clampMul(c.High, o.High),
+		Confidence: math.Min(c.Confidence, o.Confidence),
+	}
+}
+
+// Widen grows the interval by a relative slack on both sides and decays the
+// confidence accordingly, modelling estimator uncertainty.
+func (c CardEstimate) Widen(slack float64) CardEstimate {
+	return CardEstimate{
+		Low:        int64(float64(c.Low) * (1 - slack)),
+		High:       clampMulF(float64(c.High), 1+slack),
+		Confidence: c.Confidence * (1 - slack/2),
+	}
+}
+
+// Contains reports whether an observed cardinality falls in the interval.
+func (c CardEstimate) Contains(n int64) bool { return n >= c.Low && n <= c.High }
+
+// MismatchFactor quantifies how far an observed cardinality lies outside the
+// interval (1 = inside). The progressive optimizer re-plans when this
+// exceeds its threshold.
+func (c CardEstimate) MismatchFactor(n int64) float64 {
+	switch {
+	case n < c.Low:
+		if n <= 0 {
+			if c.Low == 0 {
+				return 1
+			}
+			return float64(c.Low + 1)
+		}
+		return float64(c.Low) / float64(n)
+	case n > c.High:
+		if c.High <= 0 {
+			return float64(n + 1)
+		}
+		return float64(n) / float64(c.High)
+	default:
+		return 1
+	}
+}
+
+func (c CardEstimate) String() string {
+	return fmt.Sprintf("[%d..%d]@%.0f%%", c.Low, c.High, c.Confidence*100)
+}
+
+func clampAdd(a, b int64) int64 {
+	const lim = math.MaxInt64 / 4
+	if a > lim-b {
+		return lim
+	}
+	return a + b
+}
+
+func clampMul(a, b int64) int64 {
+	const lim = math.MaxInt64 / 4
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > lim/b {
+		return lim
+	}
+	return a * b
+}
+
+func clampMulF(a, f float64) int64 {
+	const lim = float64(math.MaxInt64 / 4)
+	v := a * f
+	if v > lim {
+		return int64(lim)
+	}
+	return int64(v)
+}

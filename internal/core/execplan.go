@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CostInterval is an interval-based cost estimate in milliseconds with a
+// confidence value (Figure 6 of the paper).
+type CostInterval struct {
+	LowMs, HighMs float64
+	Confidence    float64
+}
+
+// Add sums two cost intervals.
+func (c CostInterval) Add(o CostInterval) CostInterval {
+	conf := c.Confidence
+	if o.Confidence < conf {
+		conf = o.Confidence
+	}
+	if c.Confidence == 0 {
+		conf = o.Confidence
+	}
+	return CostInterval{LowMs: c.LowMs + o.LowMs, HighMs: c.HighMs + o.HighMs, Confidence: conf}
+}
+
+// Scale multiplies the interval by a factor (e.g. loop iteration count).
+func (c CostInterval) Scale(f float64) CostInterval {
+	return CostInterval{LowMs: c.LowMs * f, HighMs: c.HighMs * f, Confidence: c.Confidence}
+}
+
+// Geomean returns the geometric mean of the bounds: the scalar used to
+// compare plans ("the geometric mean of the lower and upper bounds").
+func (c CostInterval) Geomean() float64 {
+	lo, hi := c.LowMs, c.HighMs
+	if lo < 0.001 {
+		lo = 0.001
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return sqrt(lo * hi)
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations; avoids importing math in this file for one call.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func (c CostInterval) String() string {
+	return fmt.Sprintf("[%.1f..%.1f]ms@%.0f%%", c.LowMs, c.HighMs, c.Confidence*100)
+}
+
+// Assignment records the optimizer's decision for one logical operator: the
+// chosen alternative plus the estimated cardinality of its output.
+type Assignment struct {
+	Alt     Alternative
+	OutCard CardEstimate
+	CostEst CostInterval
+	// CoveredBy points at the chain head when this operator is implemented
+	// by a fused alternative attached to an earlier operator.
+	CoveredBy *Operator
+}
+
+// MovementPlan records how the output of a producer operator reaches its
+// consumers on other platforms: a conversion tree rooted at the producer's
+// output channel.
+type MovementPlan struct {
+	Producer *Operator
+	Tree     *ConversionTree
+	CostEst  CostInterval
+}
+
+// ExecPlan is an execution plan: the input RheemPlan plus, per operator,
+// the chosen execution alternative, and per cross-platform edge, the chosen
+// data movement strategy.
+type ExecPlan struct {
+	Plan        *Plan
+	Assignments map[*Operator]*Assignment
+	Movements   map[*Operator]*MovementPlan
+	Cost        CostInterval
+
+	// LoopBodies holds the (pre-)optimized execution plans of loop bodies,
+	// keyed by the loop operator.
+	LoopBodies map[*Operator]*ExecPlan
+}
+
+// PlatformOf returns the platform an operator was assigned to, resolving
+// fused coverage.
+func (ep *ExecPlan) PlatformOf(op *Operator) string {
+	a := ep.Assignments[op]
+	if a == nil {
+		return ""
+	}
+	if a.CoveredBy != nil {
+		return ep.PlatformOf(a.CoveredBy)
+	}
+	return a.Alt.Platform
+}
+
+// Platforms returns the distinct platforms used by the plan, sorted.
+func (ep *ExecPlan) Platforms() []string {
+	set := map[string]bool{}
+	for op := range ep.Assignments {
+		if p := ep.PlatformOf(op); p != "" {
+			set[p] = true
+		}
+	}
+	for _, body := range ep.LoopBodies {
+		for _, p := range body.Platforms() {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the execution plan for --explain output.
+func (ep *ExecPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ExecutionPlan for %q (cost %s)\n", ep.Plan.Name, ep.Cost)
+	ops, _ := ep.Plan.TopoOrder()
+	for _, op := range ops {
+		a := ep.Assignments[op]
+		if a == nil {
+			continue
+		}
+		switch {
+		case a.CoveredBy != nil:
+			fmt.Fprintf(&b, "  %-34s -> fused into %s\n", op.String(), a.CoveredBy)
+		default:
+			fmt.Fprintf(&b, "  %-34s -> %-28s card=%s cost=%s\n", op.String(), a.Alt.String(), a.OutCard, a.CostEst)
+		}
+		if mv := ep.Movements[op]; mv != nil && len(mv.Tree.Edges) > 0 {
+			fmt.Fprintf(&b, "  %-34s    movement:", "")
+			for _, e := range mv.Tree.Edges {
+				fmt.Fprintf(&b, " %s", e.Name)
+			}
+			fmt.Fprintf(&b, " (cost=%s)\n", mv.CostEst)
+		}
+		if body := ep.LoopBodies[op]; body != nil {
+			inner := body.String()
+			for _, line := range strings.Split(strings.TrimRight(inner, "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Stage is a maximal subplan whose operators all run on the same platform
+// and that hands control back to the executor at its end, materializing its
+// terminal outputs (Section 4.2).
+type Stage struct {
+	ID       int
+	Platform string
+	Ops      []*Operator // in topological order
+	ExecPlan *ExecPlan   // the surrounding execution plan (for assignments)
+
+	// Boundary inputs: operator input ports fed from outside the stage.
+	// Keyed by consumer operator; values are per-port producer operators.
+	ExternalIn map[*Operator][]*Operator
+	// Broadcast inputs from outside the stage.
+	ExternalBroadcast map[*Operator][]*Operator
+	// Terminal operators whose outputs must be materialized into channels.
+	TerminalOuts []*Operator
+
+	// Sniffers, when set, receive every quantum passing the tagged
+	// operator's output (exploratory mode).
+	Sniffers map[*Operator]func(q any)
+}
+
+// Contains reports whether the stage includes op.
+func (s *Stage) Contains(op *Operator) bool {
+	for _, o := range s.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Stage) String() string {
+	names := make([]string, len(s.Ops))
+	for i, o := range s.Ops {
+		names[i] = o.String()
+	}
+	return fmt.Sprintf("Stage%d@%s{%s}", s.ID, s.Platform, strings.Join(names, ", "))
+}
+
+// OpStats are the monitor's per-operator observations within a stage run.
+type OpStats struct {
+	OutCard int64
+	Runtime time.Duration // attributed share of the stage runtime
+}
+
+// StageStats are the monitor's observations of one stage execution.
+type StageStats struct {
+	Stage    *Stage
+	Runtime  time.Duration
+	OutCards map[*Operator]int64 // true output cardinalities
+	Ops      map[*Operator]OpStats
+}
+
+// Inputs is the set of channels a stage execution reads: main dataflow
+// inputs keyed by (consumer, port) and broadcast inputs keyed by
+// (consumer, producer).
+type Inputs struct {
+	Main      map[*Operator][]*Channel // per consumer, per port
+	Broadcast map[*Operator]map[*Operator]*Channel
+	// LoopVar optionally carries the loop-carried collection for the body's
+	// LoopInput placeholder.
+	LoopVar []any
+	// Round is the surrounding loop's current iteration (0 outside loops);
+	// per-iteration operators such as Sample vary their behaviour with it.
+	Round int
+}
+
+// NewInputs creates an empty input set.
+func NewInputs() *Inputs {
+	return &Inputs{
+		Main:      map[*Operator][]*Channel{},
+		Broadcast: map[*Operator]map[*Operator]*Channel{},
+	}
+}
+
+// SetMain records the channel feeding a consumer's input port.
+func (in *Inputs) SetMain(consumer *Operator, port int, ch *Channel) {
+	slots := in.Main[consumer]
+	for len(slots) <= port {
+		slots = append(slots, nil)
+	}
+	slots[port] = ch
+	in.Main[consumer] = slots
+}
+
+// SetBroadcast records a broadcast channel from producer into consumer.
+func (in *Inputs) SetBroadcast(consumer, producer *Operator, ch *Channel) {
+	m := in.Broadcast[consumer]
+	if m == nil {
+		m = map[*Operator]*Channel{}
+		in.Broadcast[consumer] = m
+	}
+	m[producer] = ch
+}
+
+// Driver is the interface platform packages implement: the executor hands a
+// stage plus its input channels to the owning platform's driver, which runs
+// it natively and returns the materialized terminal outputs along with
+// monitoring statistics.
+type Driver interface {
+	// Name returns the platform name, e.g. "spark".
+	Name() string
+	// Execute runs the stage and returns one output channel per terminal
+	// operator.
+	Execute(stage *Stage, in *Inputs) (map[*Operator]*Channel, *StageStats, error)
+	// ChannelDescriptors lists the channel types this platform owns.
+	ChannelDescriptors() []ChannelDescriptor
+	// Conversions lists the conversion operators this platform contributes
+	// (e.g. collection -> rdd, rdd -> collection).
+	Conversions() []*Conversion
+	// RegisterMappings contributes the platform's operator mappings.
+	RegisterMappings(r *MappingRegistry)
+}
+
+// StartupCoster is optionally implemented by drivers whose platform incurs
+// a fixed per-job startup cost the optimizer must account for.
+type StartupCoster interface {
+	StartupCostMs() float64
+}

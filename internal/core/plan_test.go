@@ -1,0 +1,281 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLinearPlan constructs source -> map -> sink.
+func buildLinearPlan() (*Plan, *Operator, *Operator, *Operator) {
+	p := NewPlan("linear")
+	src := p.Add(&Operator{Kind: KindCollectionSource, Params: Params{Collection: []any{1, 2}}})
+	m := p.Add(&Operator{Kind: KindMap, Label: "inc", UDF: UDFs{Map: func(q any) any { return q.(int) + 1 }}})
+	sink := p.Add(&Operator{Kind: KindCollectionSink})
+	p.Chain(src, m, sink)
+	return p, src, m, sink
+}
+
+func TestPlanValidateLinear(t *testing.T) {
+	p, src, m, sink := buildLinearPlan()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := m.Inputs()[0]; got != src {
+		t.Errorf("map input = %v", got)
+	}
+	if got := m.Outputs()[0]; got != sink {
+		t.Errorf("map output = %v", got)
+	}
+	if srcs := p.Sources(); len(srcs) != 1 || srcs[0] != src {
+		t.Errorf("Sources = %v", srcs)
+	}
+	if sinks := p.Sinks(); len(sinks) != 1 || sinks[0] != sink {
+		t.Errorf("Sinks = %v", sinks)
+	}
+}
+
+func TestPlanTopoOrder(t *testing.T) {
+	p := NewPlan("diamond")
+	src := p.NewOperator(KindCollectionSource, "src")
+	src.Params.Collection = []any{1}
+	f1 := p.NewOperator(KindFilter, "f1")
+	f1.UDF.Pred = func(any) bool { return true }
+	f2 := p.NewOperator(KindFilter, "f2")
+	f2.UDF.Pred = func(any) bool { return true }
+	join := p.NewOperator(KindUnion, "u")
+	sink := p.NewOperator(KindCollectionSink, "")
+	p.Connect(src, f1, 0)
+	p.Connect(src, f2, 0)
+	p.Connect(f1, join, 0)
+	p.Connect(f2, join, 1)
+	p.Connect(join, sink, 0)
+
+	order, err := p.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[*Operator]int{}
+	for i, o := range order {
+		pos[o] = i
+	}
+	if !(pos[src] < pos[f1] && pos[src] < pos[f2] && pos[f1] < pos[join] && pos[f2] < pos[join] && pos[join] < pos[sink]) {
+		t.Fatalf("bad topological order: %v", order)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidateDetectsUnconnectedInput(t *testing.T) {
+	p := NewPlan("bad")
+	p.NewOperator(KindCollectionSource, "").Params.Collection = []any{1}
+	p.NewOperator(KindMap, "orphan").UDF.Map = func(q any) any { return q }
+	p.NewOperator(KindCollectionSink, "")
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for unconnected inputs")
+	}
+}
+
+func TestPlanValidateDetectsCycle(t *testing.T) {
+	p := NewPlan("cycle")
+	a := p.NewOperator(KindMap, "a")
+	b := p.NewOperator(KindMap, "b")
+	p.Connect(a, b, 0)
+	p.Connect(b, a, 0)
+	if _, err := p.TopoOrder(); err == nil {
+		t.Fatal("expected cycle detection")
+	}
+}
+
+func TestPlanValidateEmptyAndNoSink(t *testing.T) {
+	if err := NewPlan("empty").Validate(); err == nil {
+		t.Fatal("expected error for empty plan")
+	}
+	p := NewPlan("nosink")
+	p.NewOperator(KindCollectionSource, "").Params.Collection = []any{1}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("expected no-sink error, got %v", err)
+	}
+}
+
+func TestPlanLoopValidation(t *testing.T) {
+	p := NewPlan("looped")
+	src := p.NewOperator(KindCollectionSource, "init")
+	src.Params.Collection = []any{0.0}
+	loop := p.NewOperator(KindRepeat, "iter")
+	loop.Params.Iterations = 3
+	sink := p.NewOperator(KindCollectionSink, "")
+	p.Chain(src, loop, sink)
+
+	// No body yet: invalid.
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for loop without body")
+	}
+
+	body := NewPlan("body")
+	in := body.NewOperator(KindCollectionSource, "loopvar")
+	inc := body.NewOperator(KindMap, "inc")
+	inc.UDF.Map = func(q any) any { return q.(float64) + 1 }
+	body.Connect(in, inc, 0)
+	body.LoopInput = in
+	body.LoopOutput = inc
+	loop.Body = body
+
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate with body: %v", err)
+	}
+
+	// Zero iterations: invalid.
+	loop.Params.Iterations = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for Repeat without iteration count")
+	}
+}
+
+func TestPlanBroadcastEdges(t *testing.T) {
+	p := NewPlan("bcast")
+	big := p.NewOperator(KindCollectionSource, "big")
+	big.Params.Collection = []any{1, 2, 3}
+	small := p.NewOperator(KindCollectionSource, "small")
+	small.Params.Collection = []any{10}
+	m := p.NewOperator(KindMap, "use")
+	m.UDF.Map = func(q any) any { return q }
+	sink := p.NewOperator(KindCollectionSink, "")
+	p.Connect(big, m, 0)
+	p.Broadcast(small, m)
+	p.Connect(m, sink, 0)
+
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bs := m.Broadcasts(); len(bs) != 1 || bs[0] != small {
+		t.Fatalf("Broadcasts = %v", bs)
+	}
+	// Broadcast edges participate in topological ordering.
+	order, err := p.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[*Operator]int{}
+	for i, o := range order {
+		pos[o] = i
+	}
+	if pos[small] > pos[m] {
+		t.Fatal("broadcast producer ordered after consumer")
+	}
+}
+
+func TestPlanStringRendering(t *testing.T) {
+	p, _, _, _ := buildLinearPlan()
+	s := p.String()
+	for _, want := range []string{"RheemPlan", "CollectionSource", "Map(inc)", "CollectionSink", "<-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestOperatorArities(t *testing.T) {
+	cases := []struct {
+		k       Kind
+		in, out int
+	}{
+		{KindTextFileSource, 0, 1},
+		{KindMap, 1, 1},
+		{KindJoin, 2, 1},
+		{KindCollectionSink, 1, 0},
+		{KindRepeat, 1, 1},
+	}
+	for _, c := range cases {
+		if c.k.InArity() != c.in || c.k.OutArity() != c.out {
+			t.Errorf("%s arity = (%d,%d), want (%d,%d)", c.k, c.k.InArity(), c.k.OutArity(), c.in, c.out)
+		}
+	}
+	if !KindTextFileSource.IsSource() || KindMap.IsSource() {
+		t.Error("IsSource misclassifies")
+	}
+	if !KindCollectionSink.IsSink() || KindMap.IsSink() {
+		t.Error("IsSink misclassifies")
+	}
+	if !KindRepeat.IsLoop() || !KindDoWhile.IsLoop() || KindMap.IsLoop() {
+		t.Error("IsLoop misclassifies")
+	}
+}
+
+func TestDefaultSelectivities(t *testing.T) {
+	if s := (&Operator{Kind: KindFilter}).DefaultSelectivity(); s != 0.5 {
+		t.Errorf("filter default = %v", s)
+	}
+	if s := (&Operator{Kind: KindMap}).DefaultSelectivity(); s != 1 {
+		t.Errorf("map default = %v", s)
+	}
+	o := &Operator{Kind: KindFilter, Selectivity: 0.01}
+	if s := o.DefaultSelectivity(); s != 0.01 {
+		t.Errorf("hint not honoured: %v", s)
+	}
+}
+
+func TestEstimateOutCard(t *testing.T) {
+	in := []CardEstimate{ExactCard(1000), ExactCard(10)}
+
+	cases := []struct {
+		op       *Operator
+		loHi     [2]int64
+		multiple bool
+	}{
+		{&Operator{Kind: KindMap}, [2]int64{1000, 1000}, false},
+		{&Operator{Kind: KindFilter}, [2]int64{500, 500}, false},
+		{&Operator{Kind: KindCount}, [2]int64{1, 1}, false},
+		{&Operator{Kind: KindCartesian}, [2]int64{10000, 10000}, false},
+		{&Operator{Kind: KindUnion}, [2]int64{1010, 1010}, false},
+		{&Operator{Kind: KindSample, Params: Params{SampleSize: 17}}, [2]int64{17, 17}, false},
+		{&Operator{Kind: KindSample, Params: Params{SampleFraction: 0.1}}, [2]int64{100, 100}, false},
+	}
+	for _, c := range cases {
+		got := c.op.EstimateOutCard(in)
+		if got.Low != c.loHi[0] || got.High != c.loHi[1] {
+			t.Errorf("%s estimate = %v, want %v", c.op.Kind, got, c.loHi)
+		}
+	}
+
+	// Join estimates widen and carry reduced confidence.
+	j := (&Operator{Kind: KindJoin}).EstimateOutCard(in)
+	if j.Confidence >= 1 || j.Low > j.High {
+		t.Errorf("join estimate not widened: %v", j)
+	}
+	// Selectivity hints override the join heuristic.
+	jh := (&Operator{Kind: KindJoin, Selectivity: 0.5}).EstimateOutCard(in)
+	if jh.Low != 5000 {
+		t.Errorf("hinted join = %v", jh)
+	}
+	// Collection sources know their cardinality exactly.
+	cs := (&Operator{Kind: KindCollectionSource, Params: Params{Collection: []any{1, 2, 3}}}).EstimateOutCard(nil)
+	if cs.Low != 3 || cs.High != 3 || cs.Confidence != 1 {
+		t.Errorf("collection source = %v", cs)
+	}
+	// File sources are unknown until sampled.
+	fs := (&Operator{Kind: KindTextFileSource}).EstimateOutCard(nil)
+	if fs.Confidence > 0.1 || fs.High <= fs.Low {
+		t.Errorf("file source should be wide/uncertain: %v", fs)
+	}
+}
+
+func TestRegisterKind(t *testing.T) {
+	const custom = Kind("MyScope")
+	RegisterKind(custom, 1, 1, func(o *Operator, in []CardEstimate) CardEstimate {
+		return in[0].Scale(0.25)
+	})
+	ki, ok := registeredKind(custom)
+	if !ok || ki.InArity != 1 {
+		t.Fatalf("registeredKind = %+v, %v", ki, ok)
+	}
+	p := NewPlan("custom")
+	src := p.NewOperator(KindCollectionSource, "")
+	src.Params.Collection = []any{1}
+	c := p.NewOperator(custom, "")
+	sink := p.NewOperator(KindCollectionSink, "")
+	p.Chain(src, c, sink)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("plan with custom kind: %v", err)
+	}
+}

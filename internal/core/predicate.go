@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// PredOp is a declarative comparison operator.
+type PredOp int
+
+// Declarative predicate comparisons.
+const (
+	PredEq PredOp = iota
+	PredLt
+	PredLe
+	PredGt
+	PredGe
+)
+
+func (o PredOp) String() string {
+	switch o {
+	case PredEq:
+		return "="
+	case PredLt:
+		return "<"
+	case PredLe:
+		return "<="
+	case PredGt:
+		return ">"
+	case PredGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Predicate is a declarative single-column comparison over Record quanta.
+// Unlike an opaque UDF predicate, relational platforms can push it into
+// scans and satisfy it from indexes; general-purpose platforms evaluate it
+// like any predicate. Filter operators carry it in Params.Where (instead
+// of, or in addition to, UDF.Pred).
+type Predicate struct {
+	Col   int
+	Op    PredOp
+	Value any
+}
+
+// Eval evaluates the predicate against a record.
+func (p *Predicate) Eval(r Record) bool {
+	switch v := p.Value.(type) {
+	case string:
+		s := r.String(p.Col)
+		switch p.Op {
+		case PredEq:
+			return s == v
+		case PredLt:
+			return s < v
+		case PredLe:
+			return s <= v
+		case PredGt:
+			return s > v
+		case PredGe:
+			return s >= v
+		}
+	default:
+		f := r.Float(p.Col)
+		w := numOf(p.Value)
+		switch p.Op {
+		case PredEq:
+			return f == w
+		case PredLt:
+			return f < w
+		case PredLe:
+			return f <= w
+		case PredGt:
+			return f > w
+		case PredGe:
+			return f >= w
+		}
+	}
+	return false
+}
+
+// Fn compiles the predicate into a quantum predicate function.
+func (p *Predicate) Fn() func(any) bool {
+	return func(q any) bool {
+		r, ok := q.(Record)
+		if !ok {
+			return false
+		}
+		return p.Eval(r)
+	}
+}
+
+func (p *Predicate) String() string {
+	return fmt.Sprintf("col%d %s %v", p.Col, p.Op, p.Value)
+}
+
+func numOf(v any) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case float32:
+		return float64(n)
+	case int:
+		return float64(n)
+	case int32:
+		return float64(n)
+	case int64:
+		return float64(n)
+	}
+	panic(fmt.Sprintf("core: predicate value %T is not numeric", v))
+}

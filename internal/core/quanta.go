@@ -1,0 +1,244 @@
+// Package core defines RHEEM's data and processing model: data quanta,
+// datasets, logical (platform-agnostic) operators, plans, channels, operator
+// mappings, and execution plans. Everything above it (optimizer, executor,
+// platform drivers, APIs) is built in terms of these types.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A data quantum is the smallest processing unit of a dataset: a line of
+// text, a tuple, a graph edge, a (key, value) pair... Quanta are dynamically
+// typed; operators refine their behaviour with UDFs that know the concrete
+// type.
+//
+// Common concrete quantum types used throughout the system are defined
+// below (Record, KV, Edge). UDFs are free to use their own types as well.
+
+// Record is a positional tuple, the quantum of relational data.
+type Record []any
+
+// Field returns the i-th attribute of the record.
+func (r Record) Field(i int) any { return r[i] }
+
+// Float returns the i-th attribute coerced to float64. It panics if the
+// attribute is not numeric, mirroring a UDF type error.
+func (r Record) Float(i int) float64 {
+	switch v := r[i].(type) {
+	case float64:
+		return v
+	case float32:
+		return float64(v)
+	case int:
+		return float64(v)
+	case int32:
+		return float64(v)
+	case int64:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("core: record field %d is %T, not numeric", i, r[i]))
+	}
+}
+
+// Int returns the i-th attribute coerced to int64.
+func (r Record) Int(i int) int64 {
+	switch v := r[i].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case int32:
+		return int64(v)
+	case float64:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("core: record field %d is %T, not integral", i, r[i]))
+	}
+}
+
+// String returns the i-th attribute coerced to string.
+func (r Record) String(i int) string {
+	if s, ok := r[i].(string); ok {
+		return s
+	}
+	return fmt.Sprint(r[i])
+}
+
+// Copy returns a deep-enough copy of the record (attribute values are
+// shared; the positional slice is fresh).
+func (r Record) Copy() Record {
+	c := make(Record, len(r))
+	copy(c, r)
+	return c
+}
+
+// KV is a keyed quantum, produced by key-extracting operators and consumed
+// by grouping/joining ones.
+type KV struct {
+	Key   any
+	Value any
+}
+
+// Edge is the quantum of graph data: a directed edge between two vertices.
+type Edge struct {
+	Src, Dst int64
+}
+
+// Group is the quantum produced by GroupBy: a key together with all values
+// that share it.
+type Group struct {
+	Key    any
+	Values []any
+}
+
+// Iterator yields data quanta one at a time. Next returns the next quantum
+// and true, or a zero value and false once the iterator is exhausted.
+type Iterator interface {
+	Next() (any, bool)
+}
+
+// Dataset is a (re-)iterable collection of data quanta. Card returns the
+// exact cardinality if it is known, or a negative value otherwise.
+type Dataset interface {
+	Open() Iterator
+	Card() int64
+}
+
+// SliceDataset adapts an in-memory slice to the Dataset interface. It is
+// the payload of collection-typed channels.
+type SliceDataset struct{ Data []any }
+
+// NewSliceDataset wraps data in a Dataset.
+func NewSliceDataset(data []any) *SliceDataset { return &SliceDataset{Data: data} }
+
+// Open returns an iterator over the slice.
+func (s *SliceDataset) Open() Iterator { return &sliceIter{data: s.Data} }
+
+// Card returns the exact number of quanta.
+func (s *SliceDataset) Card() int64 { return int64(len(s.Data)) }
+
+type sliceIter struct {
+	data []any
+	pos  int
+}
+
+func (it *sliceIter) Next() (any, bool) {
+	if it.pos >= len(it.data) {
+		return nil, false
+	}
+	v := it.data[it.pos]
+	it.pos++
+	return v, true
+}
+
+// FuncIterator adapts a function to the Iterator interface.
+type FuncIterator func() (any, bool)
+
+// Next invokes the wrapped function.
+func (f FuncIterator) Next() (any, bool) { return f() }
+
+// Collect drains an iterator into a slice.
+func Collect(it Iterator) []any {
+	var out []any
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Materialize drains a dataset into a slice.
+func Materialize(d Dataset) []any { return Collect(d.Open()) }
+
+// SortAny orders a slice of quanta by a caller-supplied less function,
+// stably. It is shared by the single-node engines' Sort implementations.
+func SortAny(data []any, less func(a, b any) bool) {
+	sort.SliceStable(data, func(i, j int) bool { return less(data[i], data[j]) })
+}
+
+// CompareAny imposes a total order over the quantum types produced by the
+// built-in operators (numbers before strings before everything else). It is
+// the default ordering for Sort and Distinct when no UDF is given.
+func CompareAny(a, b any) int {
+	an, aIsNum := toFloat(a)
+	bn, bIsNum := toFloat(b)
+	switch {
+	case aIsNum && bIsNum:
+		switch {
+		case an < bn:
+			return -1
+		case an > bn:
+			return 1
+		default:
+			return 0
+		}
+	case aIsNum:
+		return -1
+	case bIsNum:
+		return 1
+	}
+	as, aIsStr := a.(string)
+	bs, bIsStr := b.(string)
+	switch {
+	case aIsStr && bIsStr:
+		switch {
+		case as < bs:
+			return -1
+		case as > bs:
+			return 1
+		default:
+			return 0
+		}
+	case aIsStr:
+		return -1
+	case bIsStr:
+		return 1
+	}
+	// Fall back to the formatted representation; slow but total.
+	afs, bfs := fmt.Sprint(a), fmt.Sprint(b)
+	switch {
+	case afs < bfs:
+		return -1
+	case afs > bfs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// GroupKey converts an arbitrary quantum key into a comparable value usable
+// as a Go map key. Scalars map to themselves; records and other composites
+// map to their formatted representation.
+func GroupKey(k any) any {
+	switch k.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64:
+		return k
+	default:
+		return fmt.Sprint(k)
+	}
+}

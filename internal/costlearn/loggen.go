@@ -1,0 +1,215 @@
+package costlearn
+
+import (
+	"fmt"
+	"time"
+
+	"rheem/internal/core"
+	"rheem/internal/executor"
+	"rheem/internal/optimizer"
+)
+
+// LogsFromStats converts executed-stage statistics into training logs,
+// resolving each operator's cost key from the execution plan's assignment
+// and its input cardinality from its producers' observed output counts.
+func LogsFromStats(ep *core.ExecPlan, stats []*core.StageStats) []StageLog {
+	var out []StageLog
+	for _, st := range stats {
+		if st.Stage == nil || st.Stage.Platform == "" {
+			continue
+		}
+		l := StageLog{
+			Platform:  st.Stage.Platform,
+			RuntimeMs: float64(st.Runtime) / float64(time.Millisecond),
+		}
+		for _, op := range st.Stage.Ops {
+			a := ep.Assignments[op]
+			if a == nil || a.CoveredBy != nil || len(a.Alt.Steps) == 0 {
+				continue
+			}
+			var inCard int64
+			if len(op.Inputs()) == 0 {
+				inCard = st.OutCards[op]
+			} else {
+				for _, producer := range op.Inputs() {
+					if n, ok := st.OutCards[producer]; ok {
+						inCard += n
+					} else if pa := ep.Assignments[producer]; pa != nil {
+						inCard += int64(pa.OutCard.Geomean())
+					}
+				}
+			}
+			l.Ops = append(l.Ops, OpLog{
+				CostKey: a.Alt.Steps[0].CostKeyOrName(),
+				InCard:  inCard,
+				OutCard: st.OutCards[op],
+			})
+		}
+		if len(l.Ops) > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// GenOptions configure the log generator.
+type GenOptions struct {
+	// Sizes are the input cardinalities to sweep. Default {1e3, 1e4, 1e5}.
+	Sizes []int
+	// Platforms to force; default: every platform that can run the task.
+	Platforms []string
+	// Repetitions per configuration. Default 1.
+	Repetitions int
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{1000, 10000, 100000}
+	}
+	if o.Repetitions <= 0 {
+		o.Repetitions = 1
+	}
+	return o
+}
+
+// GenerateLogs creates RHEEM plans over the three practical task topologies
+// — pipeline (batch), iterative (ML), merge (SPJA) — with varying input
+// sizes and UDF complexities, executes every (plan, platform) combination,
+// and returns the collected stage logs (Section 4.5, log generation).
+func GenerateLogs(reg *core.Registry, opts GenOptions) ([]StageLog, error) {
+	opts = opts.withDefaults()
+	platforms := opts.Platforms
+	if len(platforms) == 0 {
+		for _, p := range reg.Mappings.Platforms() {
+			// Only general-purpose platforms can run every topology.
+			if p == "streams" || p == "spark" || p == "flink" {
+				platforms = append(platforms, p)
+			}
+		}
+	}
+	var logs []StageLog
+	for _, size := range opts.Sizes {
+		for _, platform := range platforms {
+			for _, topo := range []string{"pipeline", "iterative", "merge"} {
+				for _, heavyUDF := range []bool{false, true} {
+					for rep := 0; rep < opts.Repetitions; rep++ {
+						plan := buildTopology(topo, size, heavyUDF)
+						pin(plan, platform)
+						run, err := runPlanForLogs(reg, plan)
+						if err != nil {
+							return nil, fmt.Errorf("costlearn: generate %s/%s/n=%d: %w", topo, platform, size, err)
+						}
+						logs = append(logs, run...)
+					}
+				}
+			}
+		}
+	}
+	return logs, nil
+}
+
+func pin(p *core.Plan, platform string) {
+	for _, op := range p.Operators() {
+		if op.Kind.IsLoop() {
+			pin(op.Body, platform)
+			continue
+		}
+		op.TargetPlatform = platform
+	}
+}
+
+func runPlanForLogs(reg *core.Registry, plan *core.Plan) ([]StageLog, error) {
+	ep, err := optimizer.Optimize(plan, optimizer.Options{Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor.Executor{Registry: reg}
+	res, err := ex.Run(ep)
+	if err != nil {
+		return nil, err
+	}
+	logs := LogsFromStats(ep, res.Stats)
+	for loop, body := range ep.LoopBodies {
+		_ = loop
+		// Loop-body stages recorded their stats through the same run; the
+		// assignments live in the body plan.
+		logs = append(logs, LogsFromStats(body, res.Stats)...)
+	}
+	return logs, nil
+}
+
+// buildTopology constructs a synthetic plan of the given topology and size.
+func buildTopology(topo string, size int, heavyUDF bool) *core.Plan {
+	work := 1
+	if heavyUDF {
+		work = 40
+	}
+	burn := func(v int64) int64 {
+		// Deterministic CPU work proportional to the UDF complexity knob.
+		h := v
+		for i := 0; i < work; i++ {
+			h = h*1099511628211 + 31
+		}
+		return h
+	}
+	data := make([]any, size)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	switch topo {
+	case "pipeline":
+		p := core.NewPlan("gen-pipeline")
+		src := p.NewOperator(core.KindCollectionSource, "src")
+		src.Params.Collection = data
+		m := p.NewOperator(core.KindMap, "work")
+		m.UDF.Map = func(q any) any { return burn(q.(int64)) }
+		f := p.NewOperator(core.KindFilter, "half")
+		f.UDF.Pred = func(q any) bool { return q.(int64)%2 == 0 }
+		agg := p.NewOperator(core.KindReduceBy, "agg")
+		agg.UDF.Key = func(q any) any { return q.(int64) % 100 }
+		agg.UDF.Reduce = func(a, b any) any { return a.(int64) + b.(int64) }
+		sink := p.NewOperator(core.KindCollectionSink, "out")
+		p.Chain(src, m, f, agg, sink)
+		return p
+
+	case "iterative":
+		p := core.NewPlan("gen-iterative")
+		src := p.NewOperator(core.KindCollectionSource, "init")
+		src.Params.Collection = data
+		loop := p.NewOperator(core.KindRepeat, "iterate")
+		loop.Params.Iterations = 3
+		sink := p.NewOperator(core.KindCollectionSink, "out")
+		p.Chain(src, loop, sink)
+		body := core.NewPlan("gen-iter-body")
+		in := body.NewOperator(core.KindCollectionSource, "carry")
+		step := body.NewOperator(core.KindMap, "step")
+		step.UDF.Map = func(q any) any { return burn(q.(int64)) % 1000 }
+		body.Connect(in, step, 0)
+		body.LoopInput = in
+		body.LoopOutput = step
+		loop.Body = body
+		return p
+
+	default: // merge
+		p := core.NewPlan("gen-merge")
+		left := p.NewOperator(core.KindCollectionSource, "left")
+		left.Params.Collection = data
+		right := p.NewOperator(core.KindCollectionSource, "right")
+		rdata := make([]any, size/2+1)
+		for i := range rdata {
+			rdata[i] = int64(i * 2)
+		}
+		right.Params.Collection = rdata
+		join := p.NewOperator(core.KindJoin, "join")
+		join.UDF.Key = func(q any) any { return q.(int64) % 500 }
+		join.UDF.KeyRight = func(q any) any { return q.(int64) % 500 }
+		join.Selectivity = 1.0 / 500
+		m := p.NewOperator(core.KindMap, "work")
+		m.UDF.Map = func(q any) any { return burn(int64(len(q.(core.Record)))) }
+		sink := p.NewOperator(core.KindCollectionSink, "out")
+		p.Connect(left, join, 0)
+		p.Connect(right, join, 1)
+		p.Chain(join, m, sink)
+		return p
+	}
+}

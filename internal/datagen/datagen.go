@@ -1,0 +1,200 @@
+// Package datagen generates the synthetic datasets standing in for the
+// paper's evaluation inputs (Wikipedia abstracts, HIGGS, rcv1, DBpedia
+// pagelinks, the Tax dataset, TPC-H): deterministic generators that control
+// the statistical shape each experiment depends on — word skew, feature
+// dimensionality, graph degree distribution, constraint-violation rates,
+// and join selectivities.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rheem/internal/core"
+)
+
+// Words returns a Zipf-distributed vocabulary sample of text lines, shaped
+// like an abstracts corpus (the WordCount input).
+func Words(lines, wordsPerLine int, vocabulary int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(vocabulary-1))
+	out := make([]string, lines)
+	for i := range out {
+		n := wordsPerLine/2 + rng.Intn(wordsPerLine)
+		line := make([]byte, 0, n*8)
+		for w := 0; w < n; w++ {
+			if w > 0 {
+				line = append(line, ' ')
+			}
+			line = append(line, []byte(fmt.Sprintf("w%05d", zipf.Uint64()))...)
+		}
+		out[i] = string(line)
+	}
+	return out
+}
+
+// Point is a dense labelled feature vector (the HIGGS-like ML input).
+type Point struct {
+	Label    float64
+	Features []float64
+}
+
+// Points generates a linearly separable-ish classification dataset with
+// label noise, mirroring the dense HIGGS benchmark shape.
+func Points(n, dim int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]float64, dim)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	out := make([]Point, n)
+	for i := range out {
+		f := make([]float64, dim)
+		dot := 0.0
+		for j := range f {
+			f[j] = rng.NormFloat64()
+			dot += f[j] * truth[j]
+		}
+		label := 1.0
+		if dot < 0 {
+			label = -1.0
+		}
+		if rng.Float64() < 0.05 { // label noise
+			label = -label
+		}
+		out[i] = Point{Label: label, Features: f}
+	}
+	return out
+}
+
+// SparsePoint is a sparse labelled vector (the rcv1-like ML input).
+type SparsePoint struct {
+	Label   float64
+	Indexes []int
+	Values  []float64
+}
+
+// SparsePoints generates high-dimensional sparse classification data.
+func SparsePoints(n, dim, nnz int, seed int64) []SparsePoint {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]float64, dim)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	out := make([]SparsePoint, n)
+	for i := range out {
+		idx := make([]int, nnz)
+		vals := make([]float64, nnz)
+		dot := 0.0
+		for j := 0; j < nnz; j++ {
+			idx[j] = rng.Intn(dim)
+			vals[j] = rng.NormFloat64()
+			dot += vals[j] * truth[idx[j]]
+		}
+		label := 1.0
+		if dot < 0 {
+			label = -1.0
+		}
+		out[i] = SparsePoint{Label: label, Indexes: idx, Values: vals}
+	}
+	return out
+}
+
+// PointLines renders dense points as CSV text lines (label,f1,f2,...), the
+// on-file format of the ML tasks.
+func PointLines(points []Point) []string {
+	out := make([]string, len(points))
+	for i, p := range points {
+		line := fmt.Sprintf("%g", p.Label)
+		for _, f := range p.Features {
+			line += fmt.Sprintf(",%g", f)
+		}
+		out[i] = line
+	}
+	return out
+}
+
+// TaxRecord columns: (id, area code, salary, tax). The denial constraint of
+// the paper states that a higher salary must not pay a lower tax.
+const (
+	TaxColID     = 0
+	TaxColArea   = 1
+	TaxColSalary = 2
+	TaxColTax    = 3
+)
+
+// TaxRecords generates the Tax dataset with a controlled violation rate:
+// most records follow a monotone tax schedule; violationFrac of them get an
+// understated tax, creating denial-constraint violations against records
+// with lower salaries.
+func TaxRecords(n int, violationFrac float64, seed int64) []core.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Record, n)
+	for i := range out {
+		salary := 20000 + rng.Float64()*180000
+		tax := salary*0.2 + salary*salary/2e6 // convex, strictly monotone
+		if rng.Float64() < violationFrac {
+			tax *= 0.3 + 0.3*rng.Float64() // understated: violates
+		}
+		out[i] = core.Record{
+			int64(i),
+			fmt.Sprintf("%03d", rng.Intn(50)),
+			salary,
+			tax,
+		}
+	}
+	return out
+}
+
+// Graph generates a directed preferential-attachment (Barabási–Albert
+// flavoured) edge list: the degree-skewed shape of DBpedia pagelinks.
+func Graph(vertices, edgesPerVertex int, seed int64) []core.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []core.Edge
+	targets := make([]int64, 0, vertices*edgesPerVertex)
+	for v := int64(0); v < int64(vertices); v++ {
+		for e := 0; e < edgesPerVertex; e++ {
+			var dst int64
+			if v == 0 || rng.Float64() < 0.15 {
+				dst = rng.Int63n(int64(vertices))
+			} else {
+				// Preferential attachment: proportional to current in-degree.
+				dst = targets[rng.Intn(len(targets))]
+			}
+			if dst == v {
+				dst = (v + 1) % int64(vertices)
+			}
+			edges = append(edges, core.Edge{Src: v, Dst: dst})
+			targets = append(targets, dst)
+		}
+	}
+	return edges
+}
+
+// CommunityGraphs generates two overlapping community link sets over a
+// shared vertex universe (the cross-community PageRank input): both contain
+// the shared core edges plus private peripheries.
+func CommunityGraphs(coreVertices, privateVertices, edgesPer int, seed int64) (a, b []core.Edge) {
+	shared := Graph(coreVertices, edgesPer, seed)
+	a = append(a, shared...)
+	b = append(b, shared...)
+	rngA := rand.New(rand.NewSource(seed + 1))
+	rngB := rand.New(rand.NewSource(seed + 2))
+	base := int64(coreVertices)
+	for v := int64(0); v < int64(privateVertices); v++ {
+		for e := 0; e < edgesPer; e++ {
+			a = append(a, core.Edge{Src: base + v, Dst: rngA.Int63n(int64(coreVertices))})
+			b = append(b, core.Edge{Src: base + int64(privateVertices) + v, Dst: rngB.Int63n(int64(coreVertices))})
+		}
+	}
+	return a, b
+}
+
+// EdgeLines renders edges as "src<TAB>dst" text lines.
+func EdgeLines(edges []core.Edge) []string {
+	out := make([]string, len(edges))
+	for i, e := range edges {
+		out[i] = fmt.Sprintf("%d\t%d", e.Src, e.Dst)
+	}
+	return out
+}

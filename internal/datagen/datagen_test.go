@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rheem/internal/algo"
+	"rheem/internal/core"
+)
+
+func TestWordsZipfSkew(t *testing.T) {
+	lines := Words(2000, 10, 1000, 1)
+	if len(lines) != 2000 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, l := range lines {
+		for _, w := range strings.Fields(l) {
+			counts[w]++
+			total++
+		}
+	}
+	// Zipf: the most common word carries a hefty share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.1 {
+		t.Fatalf("top word share %f; not skewed", float64(max)/float64(total))
+	}
+	// Determinism.
+	if !reflect.DeepEqual(Words(50, 10, 1000, 7), Words(50, 10, 1000, 7)) {
+		t.Fatal("same seed differs")
+	}
+	if reflect.DeepEqual(Words(50, 10, 1000, 7), Words(50, 10, 1000, 8)) {
+		t.Fatal("different seeds agree")
+	}
+}
+
+func TestPointsShape(t *testing.T) {
+	pts := Points(500, 10, 3)
+	if len(pts) != 500 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	pos, neg := 0, 0
+	for _, p := range pts {
+		if len(p.Features) != 10 {
+			t.Fatalf("dim = %d", len(p.Features))
+		}
+		if p.Label == 1 {
+			pos++
+		} else if p.Label == -1 {
+			neg++
+		} else {
+			t.Fatalf("label = %v", p.Label)
+		}
+	}
+	// Roughly balanced labels.
+	if pos < 150 || neg < 150 {
+		t.Fatalf("labels unbalanced: +%d -%d", pos, neg)
+	}
+	lines := PointLines(pts[:3])
+	if len(lines) != 3 || !strings.Contains(lines[0], ",") {
+		t.Fatalf("point lines = %v", lines)
+	}
+}
+
+func TestSparsePoints(t *testing.T) {
+	pts := SparsePoints(100, 10000, 20, 5)
+	for _, p := range pts {
+		if len(p.Indexes) != 20 || len(p.Values) != 20 {
+			t.Fatalf("nnz = %d/%d", len(p.Indexes), len(p.Values))
+		}
+		for _, ix := range p.Indexes {
+			if ix < 0 || ix >= 10000 {
+				t.Fatalf("index %d out of range", ix)
+			}
+		}
+	}
+}
+
+func TestTaxRecordsViolationRate(t *testing.T) {
+	nums := func(q any) (float64, float64) {
+		r := q.(core.Record)
+		return r.Float(TaxColSalary), r.Float(TaxColTax)
+	}
+	clean := TaxRecords(300, 0, 1)
+	cleanQ := make([]any, len(clean))
+	for i, r := range clean {
+		cleanQ[i] = r
+	}
+	if v := algo.IEJoinCount(cleanQ, cleanQ, nums, nums, core.Greater, core.Less); v != 0 {
+		t.Fatalf("clean tax data has %d violations", v)
+	}
+	dirty := TaxRecords(300, 0.1, 1)
+	dirtyQ := make([]any, len(dirty))
+	for i, r := range dirty {
+		dirtyQ[i] = r
+	}
+	if v := algo.IEJoinCount(dirtyQ, dirtyQ, nums, nums, core.Greater, core.Less); v == 0 {
+		t.Fatal("dirty tax data has no violations")
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	edges := Graph(200, 4, 2)
+	if len(edges) != 800 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	indeg := map[int64]int{}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop generated")
+		}
+		if e.Src < 0 || e.Src >= 200 || e.Dst < 0 || e.Dst >= 200 {
+			t.Fatalf("vertex out of range: %+v", e)
+		}
+		indeg[e.Dst]++
+	}
+	// Preferential attachment: max in-degree well above the average (4).
+	max := 0
+	for _, d := range indeg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 12 {
+		t.Fatalf("max in-degree %d; no hubs emerged", max)
+	}
+}
+
+func TestCommunityGraphsOverlap(t *testing.T) {
+	a, b := CommunityGraphs(100, 50, 3, 9)
+	set := func(es []core.Edge) map[core.Edge]bool {
+		m := map[core.Edge]bool{}
+		for _, e := range es {
+			m[e] = true
+		}
+		return m
+	}
+	sa, sb := set(a), set(b)
+	shared := 0
+	for e := range sa {
+		if sb[e] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("communities share no edges")
+	}
+	if shared == len(sa) || shared == len(sb) {
+		t.Fatal("communities are identical")
+	}
+	if lines := EdgeLines(a[:2]); len(lines) != 2 || !strings.Contains(lines[0], "\t") {
+		t.Fatalf("edge lines = %v", lines)
+	}
+}
+
+func TestGenTPCHRatios(t *testing.T) {
+	db := GenTPCH(1, 4)
+	s := db.Sizes()
+	if s["region"] != 5 || s["nation"] != 25 {
+		t.Fatalf("region/nation = %d/%d", s["region"], s["nation"])
+	}
+	if s["supplier"] != 100 || s["customer"] != 1500 || s["orders"] != 15000 {
+		t.Fatalf("sizes = %v", s)
+	}
+	if s["lineitem"] < 3*s["orders"] || s["lineitem"] > 8*s["orders"] {
+		t.Fatalf("lineitem/orders ratio off: %v", s)
+	}
+	// Scale factor scales the big tables, not region/nation.
+	db10 := GenTPCH(10, 4)
+	s10 := db10.Sizes()
+	if s10["region"] != 5 || s10["customer"] != 15000 {
+		t.Fatalf("sf=10 sizes = %v", s10)
+	}
+	// Referential integrity: order custkeys within customer range.
+	for _, o := range db.Orders[:100] {
+		ck := o.Int(OrderCustKey)
+		if ck < 0 || ck >= int64(s["customer"]) {
+			t.Fatalf("dangling custkey %d", ck)
+		}
+	}
+	for _, l := range db.Lineitem[:100] {
+		sk := l.Int(LISuppKey)
+		if sk < 0 || sk >= int64(s["supplier"]) {
+			t.Fatalf("dangling suppkey %d", sk)
+		}
+	}
+}
+
+func TestRecordLinesAndAnySlice(t *testing.T) {
+	recs := []core.Record{{int64(1), "x"}, {int64(2), "y"}}
+	lines := RecordLines(recs)
+	if !reflect.DeepEqual(lines, []string{"1\tx", "2\ty"}) {
+		t.Fatalf("lines = %v", lines)
+	}
+	q := AnySlice(recs)
+	if len(q) != 2 || !reflect.DeepEqual(q[0], recs[0]) {
+		t.Fatalf("any slice = %v", q)
+	}
+}

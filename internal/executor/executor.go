@@ -1,0 +1,499 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rheem/internal/core"
+	"rheem/internal/monitor"
+	"rheem/internal/platform/driverutil"
+)
+
+// CheckpointFn is the progressive optimizer's hook. After each execution
+// wave the executor pauses at the optimization checkpoint and calls it with
+// the observed cardinalities and the already-executed operators; a non-nil
+// returned plan replaces the assignments of all not-yet-executed operators.
+type CheckpointFn func(observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error)
+
+// Executor runs execution plans over the registered platform drivers.
+type Executor struct {
+	Registry *core.Registry
+	Monitor  *monitor.Monitor
+	// Checkpoint, when set, is invoked at every optimization checkpoint.
+	Checkpoint CheckpointFn
+	// Sniffers attach exploratory-mode observers to operator outputs.
+	Sniffers map[*core.Operator]func(any)
+	// StageRetries re-runs a failed stage up to this many extra times
+	// (basic cross-platform fault tolerance; stage inputs are materialized
+	// at-rest channels, so a retry restarts from the last checkpoint).
+	StageRetries int
+}
+
+// Result is the outcome of a plan execution.
+type Result struct {
+	// Sinks holds one channel per sink operator.
+	Sinks map[*core.Operator]*core.Channel
+	// Stats are the per-stage statistics, in completion order.
+	Stats []*core.StageStats
+	// Replans counts progressive re-optimizations that occurred.
+	Replans int
+	// LoopOut carries the loop-output channel when the executed plan was a
+	// loop body.
+	LoopOut *core.Channel
+}
+
+// SinkData materializes the quanta of the (sole or given) sink.
+func (r *Result) SinkData(op *core.Operator) ([]any, error) {
+	ch := r.Sinks[op]
+	if ch == nil {
+		return nil, fmt.Errorf("executor: no output for %s", op)
+	}
+	return channelQuanta(ch)
+}
+
+// FirstSinkData returns the data of the only sink, a convenience for
+// single-sink plans.
+func (r *Result) FirstSinkData() ([]any, error) {
+	if len(r.Sinks) != 1 {
+		return nil, fmt.Errorf("executor: plan has %d sinks", len(r.Sinks))
+	}
+	for op := range r.Sinks {
+		return r.SinkData(op)
+	}
+	return nil, nil
+}
+
+// Run executes the plan to completion.
+func (ex *Executor) Run(ep *core.ExecPlan) (*Result, error) {
+	return ex.run(ep, nil, nil, 0)
+}
+
+// run executes ep; loopVar/outerChans are set for loop-body executions.
+func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (*Result, error) {
+	stages, err := BuildStages(ep)
+	if err != nil {
+		return nil, err
+	}
+	deps := stageDeps(ep, stages)
+
+	res := &Result{Sinks: map[*core.Operator]*core.Channel{}}
+	chans := newChannelStore(ex.Registry)
+	executedOps := map[*core.Operator]bool{}
+	done := map[*core.Stage]bool{}
+
+	for len(done) < len(stages) {
+		var wave []*core.Stage
+		for _, s := range stages {
+			if done[s] {
+				continue
+			}
+			ready := true
+			for d := range deps[s] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, s)
+			}
+		}
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("executor: stage dependency deadlock (%d of %d done)", len(done), len(stages))
+		}
+
+		// Dispatch the wave's stages in parallel (inter-platform
+		// parallelism); loop pseudo-stages run in the executor itself.
+		type outcome struct {
+			stage *core.Stage
+			outs  map[*core.Operator]*core.Channel
+			stats *core.StageStats
+			err   error
+		}
+		outcomes := make([]outcome, len(wave))
+		var wg sync.WaitGroup
+		for i, s := range wave {
+			wg.Add(1)
+			go func(i int, s *core.Stage) {
+				defer wg.Done()
+				if s.Platform == "" {
+					outs, err := ex.runLoopStage(ep, s, chans, loopVar, outerChans)
+					outcomes[i] = outcome{stage: s, outs: outs, err: err}
+					return
+				}
+				var outs map[*core.Operator]*core.Channel
+				var stats *core.StageStats
+				var err error
+				for attempt := 0; attempt <= ex.StageRetries; attempt++ {
+					outs, stats, err = ex.runDriverStage(ep, s, chans, loopVar, outerChans, round)
+					if err == nil {
+						break
+					}
+				}
+				outcomes[i] = outcome{stage: s, outs: outs, stats: stats, err: err}
+			}(i, s)
+		}
+		wg.Wait()
+
+		for _, oc := range outcomes {
+			if oc.err != nil {
+				return nil, oc.err
+			}
+			done[oc.stage] = true
+			for _, op := range oc.stage.Ops {
+				executedOps[op] = true
+			}
+			for op, ch := range oc.outs {
+				chans.put(op, ch)
+				if op.Kind.IsSink() {
+					res.Sinks[op] = ch
+				}
+			}
+			if oc.stats != nil {
+				res.Stats = append(res.Stats, oc.stats)
+				if ex.Monitor != nil {
+					ex.Monitor.Record(oc.stats)
+				}
+			}
+		}
+
+		// Optimization checkpoint: the data produced so far is at rest
+		// (stage terminals are materialized); give the progressive
+		// optimizer a chance to re-plan the remainder.
+		if ex.Checkpoint != nil && len(done) < len(stages) {
+			observed := map[*core.Operator]int64{}
+			if ex.Monitor != nil {
+				observed = ex.Monitor.ObservedCards()
+			}
+			newEP, err := ex.Checkpoint(observed, executedOps)
+			if err != nil {
+				return nil, fmt.Errorf("executor: progressive re-optimization: %w", err)
+			}
+			if newEP != nil {
+				ep = mergePlans(ep, newEP, executedOps)
+				stages, err = BuildStages(ep)
+				if err != nil {
+					return nil, err
+				}
+				deps = stageDeps(ep, stages)
+				// Re-derive completion: a stage is done when all its ops ran.
+				done = map[*core.Stage]bool{}
+				for _, s := range stages {
+					allDone := true
+					for _, op := range s.Ops {
+						if !executedOps[op] {
+							allDone = false
+							break
+						}
+					}
+					if allDone {
+						done[s] = true
+					}
+				}
+				res.Replans++
+			}
+		}
+	}
+	if ep.Plan.LoopOutput != nil {
+		ch, err := chans.fetch(ep.Plan.LoopOutput, []string{"collection"})
+		if err != nil {
+			return nil, fmt.Errorf("executor: loop output: %w", err)
+		}
+		res.LoopOut = ch
+	}
+	return res, nil
+}
+
+// mergePlans keeps the old assignments for executed operators and adopts
+// the new plan's choices for everything else.
+func mergePlans(old, new *core.ExecPlan, executed map[*core.Operator]bool) *core.ExecPlan {
+	merged := &core.ExecPlan{
+		Plan:        old.Plan,
+		Assignments: map[*core.Operator]*core.Assignment{},
+		Movements:   map[*core.Operator]*core.MovementPlan{},
+		LoopBodies:  map[*core.Operator]*core.ExecPlan{},
+		Cost:        new.Cost,
+	}
+	for op, a := range new.Assignments {
+		merged.Assignments[op] = a
+	}
+	for op, a := range old.Assignments {
+		if executed[op] {
+			merged.Assignments[op] = a
+		}
+	}
+	for op, mv := range new.Movements {
+		merged.Movements[op] = mv
+	}
+	for op, b := range new.LoopBodies {
+		merged.LoopBodies[op] = b
+	}
+	for op, b := range old.LoopBodies {
+		if executed[op] {
+			merged.LoopBodies[op] = b
+		}
+	}
+	return merged
+}
+
+// runDriverStage prepares a stage's inputs (converting channels as needed)
+// and hands it to its platform driver.
+func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *channelStore, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (map[*core.Operator]*core.Channel, *core.StageStats, error) {
+	driver, err := ex.Registry.Driver(s.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := core.NewInputs()
+	in.Round = round
+	// The loop-carried value binds exclusively to the designated LoopInput
+	// placeholder, never to other collection sources.
+	if loopVar != nil && ep.Plan.LoopInput != nil && s.Contains(ep.Plan.LoopInput) {
+		in.SetMain(ep.Plan.LoopInput, 0, core.NewChannel(core.CollectionChannel, core.NewSliceDataset(loopVar), int64(len(loopVar))))
+	}
+	for op, producers := range s.ExternalIn {
+		for port, producer := range op.Inputs() {
+			if !containsOp(producers, producer) {
+				continue
+			}
+			acceptable := acceptableChannels(ep, op)
+			ch, err := chans.fetch(producer, acceptable)
+			if err != nil {
+				return nil, nil, fmt.Errorf("executor: feeding %s: %w", op, err)
+			}
+			in.SetMain(op, port, ch)
+		}
+	}
+	for op, producers := range s.ExternalBroadcast {
+		for _, producer := range producers {
+			ch, err := chans.fetch(producer, []string{"collection"})
+			if err != nil {
+				return nil, nil, fmt.Errorf("executor: broadcast to %s: %w", op, err)
+			}
+			in.SetBroadcast(op, producer, ch)
+		}
+	}
+	// Loop-body placeholders referencing outer operators.
+	for _, op := range s.Ops {
+		if op.OuterRef != nil && outerChans != nil {
+			ch := outerChans[op.OuterRef]
+			if ch == nil {
+				return nil, nil, fmt.Errorf("executor: %s references %s, which was not materialized", op, op.OuterRef)
+			}
+			in.SetMain(op, 0, ch)
+		}
+	}
+	if ex.Sniffers != nil {
+		s.Sniffers = ex.Sniffers
+	}
+	return driver.Execute(s, in)
+}
+
+// runLoopStage evaluates a loop operator: materialize the loop input,
+// iterate the optimized body plan, and publish the final value.
+func (ex *Executor) runLoopStage(ep *core.ExecPlan, s *core.Stage, chans *channelStore, outerLoopVar []any, outerChans map[*core.Operator]*core.Channel) (map[*core.Operator]*core.Channel, error) {
+	loop := s.Ops[0]
+	body := ep.LoopBodies[loop]
+	if body == nil {
+		return nil, fmt.Errorf("executor: loop %s has no optimized body", loop)
+	}
+	// Loop-carried value from the loop's input port.
+	var loopVar []any
+	if len(loop.Inputs()) > 0 {
+		ch, err := chans.fetch(loop.Inputs()[0], []string{"collection"})
+		if err != nil {
+			return nil, fmt.Errorf("executor: loop %s input: %w", loop, err)
+		}
+		loopVar, err = channelQuanta(ch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Outer references: materialize each referenced operator's output once,
+	// before the first iteration ("data at rest" per Figure 7's Cache).
+	refs := map[*core.Operator]*core.Channel{}
+	for _, bodyOp := range body.Plan.Operators() {
+		if bodyOp.OuterRef == nil {
+			continue
+		}
+		if outerChans != nil && outerChans[bodyOp.OuterRef] != nil {
+			refs[bodyOp.OuterRef] = outerChans[bodyOp.OuterRef]
+			continue
+		}
+		ch, err := chans.fetchAny(bodyOp.OuterRef)
+		if err != nil {
+			return nil, fmt.Errorf("executor: loop %s outer ref %s: %w", loop, bodyOp.OuterRef, err)
+		}
+		refs[bodyOp.OuterRef] = ch
+	}
+
+	iters := loop.Params.Iterations
+	maxIters := iters
+	if loop.Kind == core.KindDoWhile {
+		maxIters = loop.Params.MaxIterations
+		if maxIters <= 0 {
+			maxIters = 1 << 20
+		}
+	}
+	for roundNo := 0; ; roundNo++ {
+		if loop.Kind == core.KindRepeat && roundNo >= iters {
+			break
+		}
+		if roundNo >= maxIters {
+			break
+		}
+		if loop.Kind == core.KindDoWhile && loop.UDF.Cond != nil && !loop.UDF.Cond(roundNo, loopVar) {
+			break
+		}
+		sub, err := ex.run(body, loopVar, refs, roundNo)
+		if err != nil {
+			return nil, fmt.Errorf("executor: loop %s round %d: %w", loop, roundNo, err)
+		}
+		if sub.LoopOut == nil {
+			return nil, fmt.Errorf("executor: loop %s body produced no output", loop)
+		}
+		loopVar, err = channelQuanta(sub.LoopOut)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := core.NewChannel(core.CollectionChannel, core.NewSliceDataset(loopVar), int64(len(loopVar)))
+	return map[*core.Operator]*core.Channel{loop: out}, nil
+}
+
+func acceptableChannels(ep *core.ExecPlan, op *core.Operator) []string {
+	a := ep.Assignments[op]
+	if a == nil {
+		return []string{"collection"}
+	}
+	if a.CoveredBy != nil {
+		return acceptableChannels(ep, a.CoveredBy)
+	}
+	in := a.Alt.InChannels()
+	if len(in) == 0 {
+		return []string{"collection"}
+	}
+	return in
+}
+
+func containsOp(ops []*core.Operator, op *core.Operator) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func channelQuanta(ch *core.Channel) ([]any, error) {
+	if data, err := driverutil.ChannelSlice(ch); err == nil {
+		return data, nil
+	}
+	if c, ok := ch.Payload.(interface{ Collect() []any }); ok {
+		return c.Collect(), nil
+	}
+	if r, ok := ch.Payload.(interface{ Rows() ([]any, error) }); ok {
+		return r.Rows()
+	}
+	return nil, fmt.Errorf("executor: cannot materialize channel %s (%T)", ch.Desc.Name, ch.Payload)
+}
+
+// channelStore tracks produced channels per operator, in all channel forms
+// derived so far, and converts on demand using the conversion graph.
+type channelStore struct {
+	mu       sync.Mutex
+	registry *core.Registry
+	byOp     map[*core.Operator]map[string]*core.Channel
+}
+
+func newChannelStore(reg *core.Registry) *channelStore {
+	return &channelStore{registry: reg, byOp: map[*core.Operator]map[string]*core.Channel{}}
+}
+
+func (cs *channelStore) put(op *core.Operator, ch *core.Channel) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m := cs.byOp[op]
+	if m == nil {
+		m = map[string]*core.Channel{}
+		cs.byOp[op] = m
+	}
+	m[ch.Desc.Name] = ch
+}
+
+// fetch returns op's output as one of the acceptable channel types,
+// converting via the cheapest conversion path when necessary. Converted
+// forms are cached so several consumers share one conversion (the shared
+// prefixes of the minimal conversion tree).
+func (cs *channelStore) fetch(op *core.Operator, acceptable []string) (*core.Channel, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m := cs.byOp[op]
+	if len(m) == 0 {
+		return nil, fmt.Errorf("no channel produced by %s", op)
+	}
+	for _, want := range acceptable {
+		if ch, ok := m[want]; ok {
+			return ch, nil
+		}
+	}
+	// Convert: pick the cheapest path from any available form.
+	var bestPath *core.ConversionPath
+	var bestSrc *core.Channel
+	for _, src := range m {
+		card := float64(src.Card)
+		if card < 0 {
+			card = 1000
+		}
+		for _, want := range acceptable {
+			path, err := cs.registry.Graph.FindPath(src.Desc.Name, want, card)
+			if err != nil {
+				continue
+			}
+			if bestPath == nil || path.CostMs < bestPath.CostMs {
+				bestPath, bestSrc = path, src
+			}
+		}
+	}
+	if bestPath == nil {
+		return nil, fmt.Errorf("no conversion path from %s's channels %v to %v", op, keys(m), acceptable)
+	}
+	cur := bestSrc
+	for _, step := range bestPath.Steps {
+		next, err := step.Convert(cur)
+		if err != nil {
+			return nil, fmt.Errorf("conversion %s: %w", step.Name, err)
+		}
+		if next.Card < 0 {
+			next.Card = cur.Card
+		}
+		m[next.Desc.Name] = next
+		cur = next
+	}
+	return cur, nil
+}
+
+// fetchAny returns op's output in whatever form exists, preferring
+// at-rest/collection forms.
+func (cs *channelStore) fetchAny(op *core.Operator) (*core.Channel, error) {
+	cs.mu.Lock()
+	m := cs.byOp[op]
+	cs.mu.Unlock()
+	if len(m) == 0 {
+		return nil, fmt.Errorf("no channel produced by %s", op)
+	}
+	if ch, ok := m["collection"]; ok {
+		return ch, nil
+	}
+	names := keys(m)
+	sort.Strings(names)
+	return m[names[0]], nil
+}
+
+func keys(m map[string]*core.Channel) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package monitor implements RHEEM's execution monitor (Section 4.3): it
+// collects light-weight statistics from every executed stage — true output
+// cardinalities and operator runtimes, with lazy-execution-aware
+// attribution done by the drivers — and checks execution health by
+// comparing observations against the optimizer's estimates. Large
+// mismatches hand control to the progressive optimizer.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"rheem/internal/core"
+)
+
+// Monitor accumulates observations across the stages of one plan execution.
+type Monitor struct {
+	mu       sync.Mutex
+	stages   []*core.StageStats
+	outCards map[*core.Operator]int64
+	opTimes  map[*core.Operator]time.Duration
+}
+
+// New creates an empty monitor.
+func New() *Monitor {
+	return &Monitor{
+		outCards: map[*core.Operator]int64{},
+		opTimes:  map[*core.Operator]time.Duration{},
+	}
+}
+
+// Record ingests one stage's statistics.
+func (m *Monitor) Record(stats *core.StageStats) {
+	if stats == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages = append(m.stages, stats)
+	for op, n := range stats.OutCards {
+		m.outCards[op] = n
+	}
+	for op, os := range stats.Ops {
+		m.opTimes[op] += os.Runtime
+	}
+}
+
+// Stages returns the recorded stage statistics in completion order.
+func (m *Monitor) Stages() []*core.StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*core.StageStats(nil), m.stages...)
+}
+
+// ObservedCards returns a copy of the true output cardinalities seen so far.
+func (m *Monitor) ObservedCards() map[*core.Operator]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[*core.Operator]int64, len(m.outCards))
+	for op, n := range m.outCards {
+		out[op] = n
+	}
+	return out
+}
+
+// OpRuntime returns the accumulated runtime attributed to an operator.
+func (m *Monitor) OpRuntime(op *core.Operator) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.opTimes[op]
+}
+
+// TotalRuntime sums the recorded stage runtimes (not wall clock: parallel
+// stages overlap).
+func (m *Monitor) TotalRuntime() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total time.Duration
+	for _, s := range m.stages {
+		total += s.Runtime
+	}
+	return total
+}
+
+// Mismatch is a health-check finding: an operator whose observed output
+// cardinality fell outside its estimated interval.
+type Mismatch struct {
+	Op       *core.Operator
+	Estimate core.CardEstimate
+	Observed int64
+	Factor   float64
+}
+
+// HealthCheck compares the observations against the execution plan's
+// estimates and returns the mismatches exceeding factor, worst first.
+func (m *Monitor) HealthCheck(ep *core.ExecPlan, factor float64) []Mismatch {
+	if factor <= 1 {
+		factor = 2
+	}
+	observed := m.ObservedCards()
+	var out []Mismatch
+	for op, n := range observed {
+		a := ep.Assignments[op]
+		if a == nil {
+			continue
+		}
+		f := a.OutCard.MismatchFactor(n)
+		if f >= factor {
+			out = append(out, Mismatch{Op: op, Estimate: a.OutCard, Observed: n, Factor: f})
+		}
+	}
+	// Worst first.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Factor > out[i].Factor {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

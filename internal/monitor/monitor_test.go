@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"rheem/internal/core"
+)
+
+func stats(platform string, runtime time.Duration, cards map[*core.Operator]int64) *core.StageStats {
+	ops := map[*core.Operator]core.OpStats{}
+	for op, n := range cards {
+		ops[op] = core.OpStats{OutCard: n, Runtime: runtime / time.Duration(len(cards))}
+	}
+	return &core.StageStats{
+		Stage:    &core.Stage{ID: 1, Platform: platform},
+		Runtime:  runtime,
+		OutCards: cards,
+		Ops:      ops,
+	}
+}
+
+func TestMonitorAccumulates(t *testing.T) {
+	m := New()
+	opA := &core.Operator{Kind: core.KindMap, Label: "a"}
+	opB := &core.Operator{Kind: core.KindFilter, Label: "b"}
+	m.Record(stats("spark", 10*time.Millisecond, map[*core.Operator]int64{opA: 100}))
+	m.Record(stats("streams", 4*time.Millisecond, map[*core.Operator]int64{opB: 7}))
+	m.Record(nil) // ignored
+
+	if len(m.Stages()) != 2 {
+		t.Fatalf("stages = %d", len(m.Stages()))
+	}
+	cards := m.ObservedCards()
+	if cards[opA] != 100 || cards[opB] != 7 {
+		t.Fatalf("cards = %v", cards)
+	}
+	if m.TotalRuntime() != 14*time.Millisecond {
+		t.Fatalf("total = %v", m.TotalRuntime())
+	}
+	if m.OpRuntime(opA) != 10*time.Millisecond {
+		t.Fatalf("opA runtime = %v", m.OpRuntime(opA))
+	}
+	// ObservedCards returns a copy.
+	cards[opA] = 999
+	if m.ObservedCards()[opA] != 100 {
+		t.Fatal("ObservedCards leaked internal state")
+	}
+}
+
+func TestHealthCheckOrdersByFactor(t *testing.T) {
+	m := New()
+	opA := &core.Operator{Kind: core.KindFilter, Label: "mild"}
+	opB := &core.Operator{Kind: core.KindFilter, Label: "wild"}
+	m.Record(stats("spark", time.Millisecond, map[*core.Operator]int64{opA: 50, opB: 10000}))
+
+	ep := &core.ExecPlan{Assignments: map[*core.Operator]*core.Assignment{
+		opA: {OutCard: core.CardEstimate{Low: 10, High: 10, Confidence: 1}}, // factor 5
+		opB: {OutCard: core.CardEstimate{Low: 10, High: 10, Confidence: 1}}, // factor 1000
+	}}
+	found := m.HealthCheck(ep, 4)
+	if len(found) != 2 {
+		t.Fatalf("mismatches = %v", found)
+	}
+	if found[0].Op != opB || found[1].Op != opA {
+		t.Fatalf("not ordered worst-first: %v", found)
+	}
+	// Threshold filters.
+	if got := m.HealthCheck(ep, 100); len(got) != 1 || got[0].Op != opB {
+		t.Fatalf("threshold filter = %v", got)
+	}
+	// Unknown operators are ignored.
+	m.Record(stats("spark", time.Millisecond, map[*core.Operator]int64{{}: 5}))
+	if got := m.HealthCheck(ep, 4); len(got) != 2 {
+		t.Fatalf("unknown op not ignored: %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+package optimizer
+
+import (
+	"testing"
+
+	"rheem/internal/core"
+	"rheem/internal/platform/flink"
+	"rheem/internal/platform/graphmem"
+	"rheem/internal/platform/spark"
+	"rheem/internal/platform/streams"
+	"rheem/internal/storage/dfs"
+)
+
+func benchRegistry(b *testing.B) *core.Registry {
+	b.Helper()
+	store, err := dfs.New(b.TempDir(), dfs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	for _, d := range []core.Driver{
+		streams.New(store),
+		spark.NewWithConfig(store, spark.Config{Parallelism: 4}),
+		flink.NewWithConfig(store, flink.Config{Parallelism: 4}),
+		graphmem.New(),
+	} {
+		if err := reg.Register(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func benchPlan(ops int) *core.Plan {
+	p := core.NewPlan("bench")
+	src := p.NewOperator(core.KindCollectionSource, "src")
+	src.Params.Collection = []any{int64(1)}
+	prev := src
+	for i := 0; i < ops; i++ {
+		m := p.NewOperator(core.KindMap, "m")
+		m.UDF.Map = func(q any) any { return q }
+		p.Connect(prev, m, 0)
+		prev = m
+	}
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Connect(prev, sink, 0)
+	return p
+}
+
+// BenchmarkOptimizePruned measures the lossless-pruning enumeration over
+// growing plan sizes (the exhaustive alternative is k^n).
+func BenchmarkOptimizePruned(b *testing.B) {
+	reg := benchRegistry(b)
+	for _, n := range []int{5, 15, 30} {
+		b.Run("ops="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Optimize(benchPlan(n), Options{Registry: reg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeExhaustive is the unpruned baseline (small plans only).
+func BenchmarkOptimizeExhaustive(b *testing.B) {
+	reg := benchRegistry(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(benchPlan(6), Options{Registry: reg, Exhaustive: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConversionTree measures the Steiner-tree movement planner.
+func BenchmarkConversionTree(b *testing.B) {
+	reg := benchRegistry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Graph.FindTree("collection", []string{"rdd", "dataset", "file"}, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,408 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rheem/internal/core"
+	"rheem/internal/platform/flink"
+	"rheem/internal/platform/graphmem"
+	"rheem/internal/platform/relstore"
+	"rheem/internal/platform/spark"
+	"rheem/internal/platform/streams"
+	"rheem/internal/storage/dfs"
+)
+
+// testEnv builds a registry with all platforms plus a relstore instance.
+type testEnv struct {
+	reg   *core.Registry
+	dfs   *dfs.Store
+	store *relstore.Store
+	rsd   *relstore.Driver
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	store, err := dfs.New(t.TempDir(), dfs.Options{BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := relstore.NewStore("pg")
+	rsd := relstore.New(relstore.Config{QueryLatencyMs: 0.001}, rs)
+	reg := core.NewRegistry()
+	for _, d := range []core.Driver{
+		streams.New(store),
+		spark.NewWithConfig(store, spark.Config{Parallelism: 4}),
+		flink.NewWithConfig(store, flink.Config{Parallelism: 4}),
+		rsd,
+		graphmem.New(),
+	} {
+		if err := reg.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &testEnv{reg: reg, dfs: store, store: rs, rsd: rsd}
+}
+
+func (e *testEnv) opts() Options {
+	return Options{Registry: e.reg}
+}
+
+// smallPipeline builds source(n) -> map -> filter -> sink.
+func smallPipeline(n int) *core.Plan {
+	p := core.NewPlan("pipeline")
+	data := make([]any, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	src := p.NewOperator(core.KindCollectionSource, "src")
+	src.Params.Collection = data
+	m := p.NewOperator(core.KindMap, "inc")
+	m.UDF.Map = func(q any) any { return q.(int64) + 1 }
+	f := p.NewOperator(core.KindFilter, "even")
+	f.UDF.Pred = func(q any) bool { return q.(int64)%2 == 0 }
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Chain(src, m, f, sink)
+	return p
+}
+
+func TestOptimizePicksStreamsForSmallInput(t *testing.T) {
+	env := newTestEnv(t)
+	ep, err := Optimize(smallPipeline(100), env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	platforms := ep.Platforms()
+	if len(platforms) != 1 || platforms[0] != "streams" {
+		t.Fatalf("small input should run on streams alone, got %v\n%s", platforms, ep)
+	}
+}
+
+func TestOptimizePicksParallelForHugeInput(t *testing.T) {
+	env := newTestEnv(t)
+	p := core.NewPlan("huge")
+	src := p.NewOperator(core.KindTextFileSource, "lines")
+	src.Params.Path = "dfs://huge.txt"
+	m := p.NewOperator(core.KindMap, "parse")
+	m.UDF.Map = func(q any) any { return q }
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Chain(src, m, sink)
+
+	// Pretend the file holds 10M lines via a pinning resolver.
+	opts := env.opts()
+	opts.Resolve = func(op *core.Operator) (core.CardEstimate, bool) {
+		if op == src {
+			return core.ExactCard(10_000_000), true
+		}
+		return core.CardEstimate{}, false
+	}
+	ep, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pf := range ep.Platforms() {
+		if pf == "streams" {
+			t.Fatalf("10M quanta should not run single-threaded:\n%s", ep)
+		}
+	}
+}
+
+func TestOptimizeHonoursPlatformPin(t *testing.T) {
+	env := newTestEnv(t)
+	p := smallPipeline(10)
+	for _, op := range p.Operators() {
+		op.TargetPlatform = "spark" // force the expensive choice
+	}
+	ep, err := Optimize(p, env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	platforms := ep.Platforms()
+	if len(platforms) != 1 || platforms[0] != "spark" {
+		t.Fatalf("pin ignored: %v", platforms)
+	}
+}
+
+func TestOptimizeMovementForMandatoryCrossPlatform(t *testing.T) {
+	// Data in relstore, task needs a Map (not executable there): the
+	// optimizer must move data out via the conversion graph.
+	env := newTestEnv(t)
+	tab, err := env.store.CreateTable("points", []relstore.Column{{Name: "x", Type: relstore.TFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tab.Insert(core.Record{float64(i)})
+	}
+
+	p := core.NewPlan("mandatory")
+	src := p.NewOperator(core.KindTableSource, "points")
+	src.Params.Table = "points"
+	src.Params.Store = "pg"
+	m := p.NewOperator(core.KindMap, "transform")
+	m.UDF.Map = func(q any) any { return q }
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Chain(src, m, sink)
+
+	opts := env.opts()
+	opts.Resolve = TableStatsResolver(func(store, table string) (int64, bool) {
+		if table == "points" {
+			return 1000, true
+		}
+		return 0, false
+	})
+	ep, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ep.PlatformOf(src); got != "relstore" {
+		t.Fatalf("table scan on %q, want relstore", got)
+	}
+	if got := ep.PlatformOf(m); got == "relstore" {
+		t.Fatal("map cannot run on relstore")
+	}
+	mv := ep.Movements[src]
+	if mv == nil || len(mv.Tree.Edges) == 0 {
+		t.Fatalf("no movement planned for relation -> %s:\n%s", ep.PlatformOf(m), ep)
+	}
+	if mv.Tree.Edges[0].From != "relation" {
+		t.Fatalf("movement should start at relation: %v", mv.Tree.Edges[0])
+	}
+}
+
+func TestPrunedMatchesExhaustive(t *testing.T) {
+	// The lossless pruning must find a plan with the same cost as the
+	// exhaustive enumeration (the ablation check).
+	env := newTestEnv(t)
+	for _, n := range []int{10, 1000, 100000} {
+		p := smallPipeline(n)
+		opts := env.opts()
+		pruned, err := Optimize(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := smallPipeline(n)
+		opts.Exhaustive = true
+		exhaustive, err := Optimize(p2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, eg := pruned.Cost.Geomean(), exhaustive.Cost.Geomean()
+		if math.Abs(pg-eg) > 0.02*math.Max(pg, eg)+0.5 {
+			t.Errorf("n=%d: pruned cost %.3f != exhaustive %.3f\npruned:\n%s\nexhaustive:\n%s",
+				n, pg, eg, pruned, exhaustive)
+		}
+	}
+}
+
+func TestOptimizeLoopBody(t *testing.T) {
+	env := newTestEnv(t)
+	p := core.NewPlan("looped")
+	init := p.NewOperator(core.KindCollectionSource, "init")
+	init.Params.Collection = []any{0.0}
+	loop := p.NewOperator(core.KindRepeat, "iterate")
+	loop.Params.Iterations = 5
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Chain(init, loop, sink)
+
+	body := core.NewPlan("body")
+	in := body.NewOperator(core.KindCollectionSource, "loopvar")
+	step := body.NewOperator(core.KindMap, "step")
+	step.UDF.Map = func(q any) any { return q.(float64) + 1 }
+	body.Connect(in, step, 0)
+	body.LoopInput = in
+	body.LoopOutput = step
+	loop.Body = body
+
+	ep, err := Optimize(p, env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyPlan := ep.LoopBodies[loop]
+	if bodyPlan == nil {
+		t.Fatal("loop body not optimized")
+	}
+	if got := bodyPlan.PlatformOf(step); got != "streams" {
+		t.Fatalf("tiny loop body should run on streams, got %q", got)
+	}
+	// The loop cost is scaled by the iteration count.
+	la := ep.Assignments[loop]
+	if la == nil || la.CostEst.Geomean() < bodyPlan.Cost.Geomean()*4 {
+		t.Fatalf("loop cost %v not scaled from body cost %v", la.CostEst, bodyPlan.Cost)
+	}
+}
+
+func TestOptimizeKnownCardsPinning(t *testing.T) {
+	env := newTestEnv(t)
+	p := smallPipeline(10)
+	filter := p.Operators()[2]
+	opts := env.opts()
+	opts.KnownCards = map[*core.Operator]int64{filter: 7}
+	ep, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ep.Assignments[filter]
+	if a.OutCard.Low != 7 || a.OutCard.High != 7 {
+		t.Fatalf("known card not pinned: %v", a.OutCard)
+	}
+}
+
+func TestOptimizeSelectivityHintChangesEstimates(t *testing.T) {
+	env := newTestEnv(t)
+	p := smallPipeline(1000)
+	filter := p.Operators()[2]
+	filter.Selectivity = 0.01
+	ep, err := Optimize(p, env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ep.Assignments[filter].OutCard.High; got > 20 {
+		t.Fatalf("selectivity hint ignored: out card %d", got)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	env := newTestEnv(t)
+	if _, err := Optimize(core.NewPlan("empty"), env.opts()); err == nil {
+		t.Fatal("empty plan must fail")
+	}
+	if _, err := Optimize(smallPipeline(1), Options{}); err == nil {
+		t.Fatal("missing registry must fail")
+	}
+	// A plan with an unimplementable pinned op fails with a clear message.
+	p := smallPipeline(1)
+	p.Operators()[1].TargetPlatform = "nonexistent"
+	_, err := Optimize(p, env.opts())
+	if err == nil || !strings.Contains(err.Error(), "no platform implements") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDFSSourceResolver(t *testing.T) {
+	store, err := dfs.New(t.TempDir(), dfs.Options{BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, "this-is-a-sample-line-of-text")
+	}
+	if err := store.WriteLines("data.txt", lines); err != nil {
+		t.Fatal(err)
+	}
+	resolve := DFSSourceResolver(store)
+	op := &core.Operator{Kind: core.KindTextFileSource, Params: core.Params{Path: "dfs://data.txt"}}
+	est, ok := resolve(op)
+	if !ok {
+		t.Fatal("resolver did not answer")
+	}
+	if est.Low > 200 || est.High < 200 {
+		t.Fatalf("estimate %v does not bracket 200", est)
+	}
+	// Non-DFS paths and other kinds defer.
+	if _, ok := resolve(&core.Operator{Kind: core.KindTextFileSource, Params: core.Params{Path: "/local.txt"}}); ok {
+		t.Fatal("local path should defer")
+	}
+	if _, ok := resolve(&core.Operator{Kind: core.KindMap}); ok {
+		t.Fatal("non-source should defer")
+	}
+}
+
+func TestEstimateCardsPropagation(t *testing.T) {
+	p := smallPipeline(1000)
+	cards, err := EstimateCards(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := p.Operators()
+	if cards[ops[0]].Low != 1000 {
+		t.Fatalf("source card %v", cards[ops[0]])
+	}
+	if cards[ops[1]].Low != 1000 { // map preserves
+		t.Fatalf("map card %v", cards[ops[1]])
+	}
+	if cards[ops[2]].Low != 500 { // default filter selectivity 0.5
+		t.Fatalf("filter card %v", cards[ops[2]])
+	}
+}
+
+func TestCostTableRoundTrip(t *testing.T) {
+	ct := DefaultCostTable([]string{"streams", "spark"})
+	ct.Ops["spark.map"] = OpCostParams{CPUPerQuantum: 0.001, FixedOverhead: 2}
+	path := t.TempDir() + "/costs.json"
+	if err := ct.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCostTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops["spark.map"].CPUPerQuantum != 0.001 {
+		t.Fatalf("round trip lost params: %+v", back.Ops["spark.map"])
+	}
+	clone := back.Clone()
+	clone.Ops["spark.map"] = OpCostParams{CPUPerQuantum: 9}
+	if back.Ops["spark.map"].CPUPerQuantum == 9 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestOpTimeMsMonotonicInCardinality(t *testing.T) {
+	ct := DefaultCostTable([]string{"streams"})
+	small := ct.OpTimeMs("streams.map", "streams", 100)
+	big := ct.OpTimeMs("streams.map", "streams", 1_000_000)
+	if big <= small {
+		t.Fatalf("cost not monotone: %v vs %v", small, big)
+	}
+}
+
+func TestMonetaryObjectiveFlipsChoice(t *testing.T) {
+	// A workload big enough that the runtime objective picks a parallel
+	// engine must fall back to the cheap single-node engine when optimizing
+	// for money (cluster rates dwarf the driver machine's).
+	env := newTestEnv(t)
+	build := func() *core.Plan {
+		p := core.NewPlan("money")
+		src := p.NewOperator(core.KindTextFileSource, "big")
+		src.Params.Path = "dfs://big.txt"
+		m := p.NewOperator(core.KindMap, "work")
+		m.UDF.Map = func(q any) any { return q }
+		sink := p.NewOperator(core.KindCollectionSink, "out")
+		p.Chain(src, m, sink)
+		return p
+	}
+	opts := env.opts()
+	opts.Resolve = func(op *core.Operator) (core.CardEstimate, bool) {
+		if op.Kind == core.KindTextFileSource {
+			return core.ExactCard(5_000_000), true
+		}
+		return core.CardEstimate{}, false
+	}
+
+	runtimePlan, err := Optimize(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedParallel := false
+	for _, pf := range runtimePlan.Platforms() {
+		if pf == "spark" || pf == "flink" {
+			usedParallel = true
+		}
+	}
+	if !usedParallel {
+		t.Fatalf("runtime objective should use a parallel engine: %v", runtimePlan.Platforms())
+	}
+
+	opts.Objective = ObjectiveMonetary
+	moneyPlan, err := Optimize(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pf := range moneyPlan.Platforms() {
+		if pf == "spark" || pf == "flink" || pf == "pregel" {
+			t.Fatalf("monetary objective should avoid cluster platforms: %v", moneyPlan.Platforms())
+		}
+	}
+}

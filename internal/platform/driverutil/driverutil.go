@@ -1,0 +1,250 @@
+// Package driverutil hosts the stage-interpretation harness shared by the
+// platform drivers. Each engine supplies the platform-specific parts — how
+// channels map to its native data representation and how one operator is
+// evaluated over that representation — and RunStage does the bookkeeping:
+// resolving stage-internal vs. external inputs, opening UDF broadcast
+// contexts, counting cardinalities, timing operators, and materializing
+// terminal outputs into channels for the executor.
+package driverutil
+
+import (
+	"fmt"
+	"time"
+
+	"rheem/internal/core"
+)
+
+// Data is an engine's native representation of a dataset (an iterator
+// pipeline, a partitioned RDD, a table reference, ...).
+type Data any
+
+// Engine is the platform-specific part of stage execution.
+type Engine interface {
+	// FromChannel converts an external input channel into native data.
+	FromChannel(ch *core.Channel) (Data, error)
+	// Apply evaluates one operator over its native inputs. round is the
+	// surrounding loop iteration (0 outside loops). counter, when
+	// incremented per output quantum, yields the operator's true output
+	// cardinality (lazy engines increment it as quanta stream by). sniff,
+	// when non-nil, must observe every output quantum (exploratory mode).
+	Apply(op *core.Operator, in []Data, bc core.BroadcastCtx, round int, counter *int64, sniff func(any)) (Data, error)
+	// ToChannel materializes native data into the channel the stage's
+	// consumer expects. It is called for terminal operators only.
+	ToChannel(op *core.Operator, d Data) (*core.Channel, error)
+}
+
+// RunStage interprets a stage over an engine. UDF panics are recovered and
+// surfaced as stage errors: a broken UDF fails the job, not the process.
+func RunStage(e Engine, stage *core.Stage, in *core.Inputs) (outs map[*core.Operator]*core.Channel, stats *core.StageStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, stats = nil, nil
+			err = fmt.Errorf("%s: UDF panic: %v", stage, r)
+		}
+	}()
+	return runStage(e, stage, in)
+}
+
+func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]*core.Channel, *core.StageStats, error) {
+	start := time.Now()
+	results := make(map[*core.Operator]Data, len(stage.Ops))
+	counters := make(map[*core.Operator]*int64, len(stage.Ops))
+	opTimes := make(map[*core.Operator]time.Duration, len(stage.Ops))
+
+	for _, op := range stage.Ops {
+		ins, err := resolveInputs(e, stage, op, in, results)
+		if err != nil {
+			return nil, nil, err
+		}
+		bc, err := broadcastCtx(op, in)
+		if err != nil {
+			return nil, nil, err
+		}
+		if op.UDF.Open != nil {
+			op.UDF.Open(bc)
+		}
+		var counter int64
+		counters[op] = &counter
+		var sniff func(any)
+		if stage.Sniffers != nil {
+			sniff = stage.Sniffers[op]
+		}
+		opStart := time.Now()
+		d, err := e.Apply(op, ins, bc, in.Round, &counter, sniff)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", stage, op, err)
+		}
+		opTimes[op] = time.Since(opStart)
+		results[op] = d
+	}
+
+	outs := make(map[*core.Operator]*core.Channel, len(stage.TerminalOuts))
+	for _, op := range stage.TerminalOuts {
+		matStart := time.Now()
+		ch, err := e.ToChannel(op, results[op])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: materialize %s: %w", stage, op, err)
+		}
+		opTimes[op] += time.Since(matStart)
+		if ch.Card < 0 && counters[op] != nil {
+			ch.Card = *counters[op]
+		}
+		outs[op] = ch
+	}
+
+	stats := &core.StageStats{
+		Stage:    stage,
+		Runtime:  time.Since(start),
+		OutCards: map[*core.Operator]int64{},
+		Ops:      map[*core.Operator]core.OpStats{},
+	}
+	for op, c := range counters {
+		stats.OutCards[op] = *c
+		stats.Ops[op] = core.OpStats{OutCard: *c, Runtime: opTimes[op]}
+	}
+	// Lazy engines accrue all work at materialization; reattribute the stage
+	// runtime proportionally to per-operator output cardinalities so the
+	// monitor's per-operator times are meaningful ("aware of lazy execution
+	// strategies", Section 4.3).
+	reattributeLazyTime(stats)
+	return outs, stats, nil
+}
+
+func resolveInputs(e Engine, stage *core.Stage, op *core.Operator, in *core.Inputs, results map[*core.Operator]Data) ([]Data, error) {
+	arity := core.InArityOf(op)
+	ins := make([]Data, arity)
+	for port := 0; port < arity; port++ {
+		var producer *core.Operator
+		if port < len(op.Inputs()) {
+			producer = op.Inputs()[port]
+		}
+		if producer != nil && stage.Contains(producer) {
+			d, ok := results[producer]
+			if !ok {
+				return nil, fmt.Errorf("driverutil: %s consumes %s before it ran (stage op order broken)", op, producer)
+			}
+			ins[port] = d
+			continue
+		}
+		// External input: the executor must have provided a channel.
+		chans := in.Main[op]
+		if port >= len(chans) || chans[port] == nil {
+			return nil, fmt.Errorf("driverutil: %s input port %d has no channel", op, port)
+		}
+		ch := chans[port]
+		if err := ch.Consume(); err != nil {
+			return nil, err
+		}
+		d, err := e.FromChannel(ch)
+		if err != nil {
+			return nil, fmt.Errorf("driverutil: %s input port %d: %w", op, port, err)
+		}
+		ins[port] = d
+	}
+	// Loop-body placeholders: an OuterRef source receives the channel the
+	// executor staged for it in Main; the designated LoopInput (a
+	// CollectionSource with nil Params.Collection) receives the carried
+	// loop value. Both surface as a pseudo-input that engines' Apply
+	// recognizes.
+	if arity == 0 && op.Kind == core.KindCollectionSource && op.Params.Collection == nil {
+		if chans := in.Main[op]; len(chans) > 0 && chans[0] != nil {
+			ch := chans[0]
+			if err := ch.Consume(); err != nil {
+				return nil, err
+			}
+			d, err := e.FromChannel(ch)
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, d)
+		} else if in.LoopVar != nil {
+			d, err := e.FromChannel(core.NewChannel(core.CollectionChannel, core.NewSliceDataset(in.LoopVar), int64(len(in.LoopVar))))
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, d)
+		}
+	}
+	return ins, nil
+}
+
+func broadcastCtx(op *core.Operator, in *core.Inputs) (core.BroadcastCtx, error) {
+	if len(op.Broadcasts()) == 0 {
+		return nil, nil
+	}
+	bc := core.BroadcastCtx{}
+	for _, producer := range op.Broadcasts() {
+		ch := in.Broadcast[op][producer]
+		if ch == nil {
+			return nil, fmt.Errorf("driverutil: %s broadcast from %s has no channel", op, producer)
+		}
+		if err := ch.Consume(); err != nil {
+			return nil, err
+		}
+		data, err := ChannelSlice(ch)
+		if err != nil {
+			return nil, fmt.Errorf("driverutil: broadcast %s -> %s: %w", producer, op, err)
+		}
+		bc[producer.Label] = data
+	}
+	return bc, nil
+}
+
+// ChannelSlice extracts the quanta of a collection- or file-typed channel
+// as a slice. Engines use it for broadcast inputs and for collection
+// channels generally.
+func ChannelSlice(ch *core.Channel) ([]any, error) {
+	switch p := ch.Payload.(type) {
+	case *core.SliceDataset:
+		return p.Data, nil
+	case []any:
+		return p, nil
+	case core.Dataset:
+		return core.Materialize(p), nil
+	case string:
+		// A file path: encoded quanta.
+		return core.ReadQuantaFile(p)
+	default:
+		return nil, fmt.Errorf("driverutil: channel %s payload %T is not sliceable", ch.Desc.Name, ch.Payload)
+	}
+}
+
+// ApplySlowdown simulates a platform with less compute capacity than the
+// host: the stage's real busy time is stretched by the factor (sleeping the
+// difference) and the reported statistics are scaled to match. Single-node
+// platform archetypes use it so that, on a laptop-scale substrate, the
+// parallel engines keep the cluster-vs-single-node capacity ratio of the
+// paper's testbed (the host machine plays the whole cluster; one node is a
+// fraction of it).
+func ApplySlowdown(stats *core.StageStats, factor float64) {
+	if stats == nil || factor <= 1 {
+		return
+	}
+	extra := time.Duration(float64(stats.Runtime) * (factor - 1))
+	time.Sleep(extra)
+	stats.Runtime += extra
+	for op, os := range stats.Ops {
+		os.Runtime = time.Duration(float64(os.Runtime) * factor)
+		stats.Ops[op] = os
+	}
+}
+
+func reattributeLazyTime(stats *core.StageStats) {
+	var total time.Duration
+	var cards int64
+	for _, os := range stats.Ops {
+		total += os.Runtime
+		cards += os.OutCard
+	}
+	if total > stats.Runtime {
+		return // eager engine: per-op times are already real
+	}
+	rest := stats.Runtime - total
+	if cards == 0 || rest <= 0 {
+		return
+	}
+	for op, os := range stats.Ops {
+		os.Runtime += time.Duration(float64(rest) * float64(os.OutCard) / float64(cards))
+		stats.Ops[op] = os
+	}
+}

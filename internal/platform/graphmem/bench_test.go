@@ -1,0 +1,39 @@
+package graphmem
+
+import (
+	"testing"
+
+	"rheem/internal/datagen"
+)
+
+// BenchmarkCSRPageRank measures the compact single-node power iteration.
+func BenchmarkCSRPageRank(b *testing.B) {
+	edges := datagen.Graph(2000, 4, 1)
+	quanta := make([]any, len(edges))
+	for i, e := range edges {
+		quanta[i] = e
+	}
+	g, err := BuildGraph(quanta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PageRank(10, 0.85)
+	}
+}
+
+// BenchmarkBuildGraph measures CSR construction.
+func BenchmarkBuildGraph(b *testing.B) {
+	edges := datagen.Graph(2000, 4, 1)
+	quanta := make([]any, len(edges))
+	for i, e := range edges {
+		quanta[i] = e
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(quanta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

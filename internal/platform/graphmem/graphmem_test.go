@@ -1,0 +1,106 @@
+package graphmem
+
+import (
+	"math"
+	"testing"
+
+	"rheem/internal/core"
+	"rheem/internal/platform/platformtest"
+)
+
+func edgeQuanta(pairs ...[2]int64) []any {
+	out := make([]any, len(pairs))
+	for i, p := range pairs {
+		out[i] = core.Edge{Src: p[0], Dst: p[1]}
+	}
+	return out
+}
+
+func TestBuildGraphCSR(t *testing.T) {
+	g, err := BuildGraph(edgeQuanta([2]int64{10, 20}, [2]int64{10, 30}, [2]int64{20, 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestBuildGraphRejectsNonEdges(t *testing.T) {
+	if _, err := BuildGraph([]any{"not an edge"}); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestPageRankRingUniform(t *testing.T) {
+	var pairs [][2]int64
+	for v := int64(0); v < 6; v++ {
+		pairs = append(pairs, [2]int64{v, (v + 1) % 6})
+	}
+	g, _ := BuildGraph(edgeQuanta(pairs...))
+	ranks := g.PageRank(25, 0.85)
+	for _, r := range ranks {
+		if math.Abs(r-1.0/6) > 1e-6 {
+			t.Fatalf("ring rank %f, want %f", r, 1.0/6)
+		}
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	// A graph without sinks preserves total rank mass 1.
+	pairs := [][2]int64{{0, 1}, {1, 2}, {2, 0}, {0, 2}, {2, 1}}
+	g, _ := BuildGraph(edgeQuanta(pairs...))
+	ranks := g.PageRank(30, 0.85)
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rank mass = %f", sum)
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	g, _ := BuildGraph(nil)
+	if ranks := g.PageRank(10, 0.85); ranks != nil {
+		t.Fatalf("empty graph ranks = %v", ranks)
+	}
+}
+
+func TestDriverPageRank(t *testing.T) {
+	d := New()
+	op := &core.Operator{Kind: core.KindPageRank, Params: core.Params{Iterations: 20}}
+	edges := edgeQuanta([2]int64{1, 2}, [2]int64{2, 1}, [2]int64{3, 1})
+	got := platformtest.RunOp(t, d, op, platformtest.CollectionChannel(edges...))
+	if len(got) != 3 {
+		t.Fatalf("vertices = %d", len(got))
+	}
+	ranks := map[int64]float64{}
+	for _, q := range got {
+		kv := q.(core.KV)
+		ranks[kv.Key.(int64)] = kv.Value.(float64)
+	}
+	// Vertex 1 receives from both 2 and 3 and must dominate.
+	if !(ranks[1] > ranks[2] && ranks[2] > ranks[3]) {
+		t.Fatalf("rank order wrong: %v", ranks)
+	}
+}
+
+func TestDriverRejectsOtherKinds(t *testing.T) {
+	d := New()
+	op := &core.Operator{Kind: core.KindMap, UDF: core.UDFs{Map: func(q any) any { return q }}}
+	if _, _, err := platformtest.RunOpErr(d, op, platformtest.CollectionChannel(int64(1))); err == nil {
+		t.Fatal("graphmem must reject non-graph operators")
+	}
+}
+
+func TestMappingsOnlyPageRank(t *testing.T) {
+	r := core.NewMappingRegistry()
+	New().RegisterMappings(r)
+	if len(r.Alternatives(&core.Operator{Kind: core.KindPageRank})) != 1 {
+		t.Fatal("pagerank mapping missing")
+	}
+	if len(r.Alternatives(&core.Operator{Kind: core.KindMap})) != 0 {
+		t.Fatal("graphmem should not map Map")
+	}
+}

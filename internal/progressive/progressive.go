@@ -1,0 +1,79 @@
+// Package progressive implements RHEEM's progressive query optimization
+// (Section 4.4): whenever the cardinalities observed by the monitor
+// mismatch the optimizer's estimates beyond a threshold, the execution is
+// paused at an optimization checkpoint, the remainder of the plan is
+// re-optimized with the true cardinalities pinned, and execution resumes
+// with the new plan — already-produced results are kept.
+package progressive
+
+import (
+	"rheem/internal/core"
+	"rheem/internal/optimizer"
+)
+
+// Reoptimizer produces the executor's checkpoint hook for one plan run.
+type Reoptimizer struct {
+	// Opts are the optimization options used for re-planning.
+	Opts optimizer.Options
+	// MismatchFactor triggers re-optimization when an observed cardinality
+	// falls outside the estimated interval by at least this factor.
+	// Default 4.
+	MismatchFactor float64
+	// MaxReplans bounds re-optimizations per run ("any number of times at a
+	// negligible cost" in the paper; bounded here for safety). Default 3.
+	MaxReplans int
+
+	plan    *core.Plan
+	current *core.ExecPlan
+	replans int
+}
+
+// New creates a reoptimizer for a plan whose current execution plan is ep.
+func New(plan *core.Plan, ep *core.ExecPlan, opts optimizer.Options) *Reoptimizer {
+	return &Reoptimizer{Opts: opts, MismatchFactor: 4, MaxReplans: 3, plan: plan, current: ep}
+}
+
+// Current returns the latest execution plan (after any re-optimization).
+func (r *Reoptimizer) Current() *core.ExecPlan { return r.current }
+
+// Replans returns how many re-optimizations occurred.
+func (r *Reoptimizer) Replans() int { return r.replans }
+
+// Checkpoint implements the executor's CheckpointFn: it compares observed
+// cardinalities of executed operators against the current plan's estimates
+// and re-optimizes the remainder when the mismatch is gross.
+func (r *Reoptimizer) Checkpoint(observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error) {
+	if r.replans >= r.MaxReplans {
+		return nil, nil
+	}
+	threshold := r.MismatchFactor
+	if threshold <= 1 {
+		threshold = 4
+	}
+	mismatch := false
+	for op, n := range observed {
+		if !executed[op] {
+			continue
+		}
+		a := r.current.Assignments[op]
+		if a == nil {
+			continue
+		}
+		if a.OutCard.MismatchFactor(n) >= threshold {
+			mismatch = true
+			break
+		}
+	}
+	if !mismatch {
+		return nil, nil
+	}
+	opts := r.Opts
+	opts.KnownCards = observed
+	newEP, err := optimizer.Optimize(r.plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.current = newEP
+	r.replans++
+	return newEP, nil
+}

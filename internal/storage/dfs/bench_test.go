@@ -1,0 +1,55 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBlockLineReads measures per-block split reads (the parallel
+// engines' input path).
+func BenchmarkBlockLineReads(b *testing.B) {
+	s, err := New(b.TempDir(), Options{BlockSize: 1 << 16, Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := make([]string, 20000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line-%06d-with-some-payload-text", i)
+	}
+	if err := s.WriteLines("bench.txt", lines); err != nil {
+		b.Fatal(err)
+	}
+	_, blocks, _ := s.Stat("bench.txt")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, blk := range blocks {
+			part, err := s.ReadBlockLines("bench.txt", blk.Index)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(part)
+		}
+		if total != len(lines) {
+			b.Fatalf("lost lines: %d", total)
+		}
+	}
+}
+
+// BenchmarkWriteLines measures replicated block writes.
+func BenchmarkWriteLines(b *testing.B) {
+	s, err := New(b.TempDir(), Options{BlockSize: 1 << 16, Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := make([]string, 10000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line-%06d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteLines(fmt.Sprintf("w%d.txt", i), lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

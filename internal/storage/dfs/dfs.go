@@ -1,0 +1,486 @@
+// Package dfs implements a miniature distributed file system in the spirit
+// of HDFS: files are split into fixed-size blocks, blocks are replicated,
+// and readers can open individual blocks so parallel engines can assign
+// block splits to workers. It backs the "dfs" channel and the dfs:// path
+// scheme of file sources and sinks.
+//
+// The "cluster" is simulated on the local file system: every block is a
+// file under the store's root directory, and replicas are physical copies
+// under per-"node" subdirectories. An optional throughput throttle models
+// network-attached storage; it is off by default so unit tests run at full
+// speed.
+package dfs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scheme is the path prefix that designates DFS-resident files.
+const Scheme = "dfs://"
+
+// IsPath reports whether a path refers to a DFS file.
+func IsPath(p string) bool { return strings.HasPrefix(p, Scheme) }
+
+// TrimScheme strips the dfs:// prefix.
+func TrimScheme(p string) string { return strings.TrimPrefix(p, Scheme) }
+
+// Options configure a Store.
+type Options struct {
+	BlockSize   int64 // bytes per block; default 4 MiB
+	Replication int   // copies per block; default 2
+	Nodes       int   // simulated datanodes; default 4
+	// ThrottleMBps, when positive, sleeps during reads/writes to model
+	// storage bandwidth. Zero disables throttling.
+	ThrottleMBps float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 20
+	}
+	if o.Replication <= 0 {
+		o.Replication = 2
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Replication > o.Nodes {
+		o.Replication = o.Nodes
+	}
+	return o
+}
+
+// Store is a DFS namespace rooted at a local directory.
+type Store struct {
+	root string
+	opts Options
+
+	mu    sync.Mutex
+	metas map[string]*fileMeta
+}
+
+// BlockInfo describes one block of a file.
+type BlockInfo struct {
+	Index int   `json:"index"`
+	Size  int64 `json:"size"`
+	Nodes []int `json:"nodes"` // datanodes holding replicas
+	// EndsNL records whether the block's last byte is a newline; block-split
+	// readers use it to decide first-line ownership.
+	EndsNL bool `json:"ends_nl"`
+}
+
+type fileMeta struct {
+	Name   string      `json:"name"`
+	Size   int64       `json:"size"`
+	Blocks []BlockInfo `json:"blocks"`
+}
+
+// New creates (or reopens) a store rooted at dir.
+func New(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: create root: %w", err)
+	}
+	s := &Store{root: dir, opts: opts, metas: map[string]*fileMeta{}}
+	if err := s.loadMetas(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewTemp creates a store under a fresh temporary directory.
+func NewTemp(opts Options) (*Store, error) {
+	dir, err := os.MkdirTemp("", "rheem-dfs-*")
+	if err != nil {
+		return nil, fmt.Errorf("dfs: temp root: %w", err)
+	}
+	return New(dir, opts)
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// BlockSize returns the configured block size.
+func (s *Store) BlockSize() int64 { return s.opts.BlockSize }
+
+func (s *Store) metaPath(name string) string {
+	return filepath.Join(s.root, "meta", sanitize(name)+".json")
+}
+
+func (s *Store) blockPath(name string, node, index int) string {
+	return filepath.Join(s.root, fmt.Sprintf("node%d", node), sanitize(name), fmt.Sprintf("blk_%06d", index))
+}
+
+func sanitize(name string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", ":", "_")
+	return r.Replace(name)
+}
+
+func (s *Store) loadMetas() error {
+	dir := filepath.Join(s.root, "meta")
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dfs: read meta dir: %w", err)
+	}
+	for _, e := range ents {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("dfs: read meta %s: %w", e.Name(), err)
+		}
+		var m fileMeta
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("dfs: parse meta %s: %w", e.Name(), err)
+		}
+		s.metas[m.Name] = &m
+	}
+	return nil
+}
+
+func (s *Store) saveMeta(m *fileMeta) error {
+	if err := os.MkdirAll(filepath.Join(s.root, "meta"), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.metaPath(m.Name), raw, 0o644)
+}
+
+// Exists reports whether the named file exists.
+func (s *Store) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.metas[name]
+	return ok
+}
+
+// Stat returns the file's size and block layout.
+func (s *Store) Stat(name string) (size int64, blocks []BlockInfo, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.metas[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return m.Size, append([]BlockInfo(nil), m.Blocks...), nil
+}
+
+// List returns the names of all files, sorted.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.metas))
+	for n := range s.metas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a file and its block replicas.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	m, ok := s.metas[name]
+	if ok {
+		delete(s.metas, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", name)
+	}
+	os.Remove(s.metaPath(name))
+	for _, b := range m.Blocks {
+		for _, node := range b.Nodes {
+			os.Remove(s.blockPath(name, node, b.Index))
+		}
+	}
+	return nil
+}
+
+// Create opens the named file for (re)writing. The returned writer splits
+// the byte stream into blocks and replicates each; Close finalizes the
+// metadata.
+func (s *Store) Create(name string) (io.WriteCloser, error) {
+	if name == "" {
+		return nil, errors.New("dfs: empty file name")
+	}
+	// Drop any previous version.
+	if s.Exists(name) {
+		if err := s.Delete(name); err != nil {
+			return nil, err
+		}
+	}
+	return &blockWriter{store: s, meta: &fileMeta{Name: name}}, nil
+}
+
+type blockWriter struct {
+	store  *Store
+	meta   *fileMeta
+	buf    []byte
+	closed bool
+}
+
+func (w *blockWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("dfs: write after close")
+	}
+	w.buf = append(w.buf, p...)
+	n := len(p)
+	bs := w.store.opts.BlockSize
+	for int64(len(w.buf)) >= bs {
+		if err := w.flushBlock(w.buf[:bs]); err != nil {
+			return n, err
+		}
+		w.buf = w.buf[bs:]
+	}
+	return n, nil
+}
+
+func (w *blockWriter) flushBlock(data []byte) error {
+	idx := len(w.meta.Blocks)
+	// Replica placement: hash of (file, block) picks the primary node,
+	// subsequent replicas go to the following nodes round-robin.
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", w.meta.Name, idx)
+	primary := int(h.Sum32()) % w.store.opts.Nodes
+	if primary < 0 {
+		primary += w.store.opts.Nodes
+	}
+	bi := BlockInfo{Index: idx, Size: int64(len(data)), EndsNL: len(data) > 0 && data[len(data)-1] == '\n'}
+	for r := 0; r < w.store.opts.Replication; r++ {
+		node := (primary + r) % w.store.opts.Nodes
+		path := w.store.blockPath(w.meta.Name, node, idx)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("dfs: block dir: %w", err)
+		}
+		w.store.throttle(len(data))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("dfs: write block: %w", err)
+		}
+		bi.Nodes = append(bi.Nodes, node)
+	}
+	w.meta.Blocks = append(w.meta.Blocks, bi)
+	w.meta.Size += int64(len(data))
+	return nil
+}
+
+func (w *blockWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 || len(w.meta.Blocks) == 0 {
+		if err := w.flushBlock(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	w.store.mu.Lock()
+	w.store.metas[w.meta.Name] = w.meta
+	err := w.store.saveMeta(w.meta)
+	w.store.mu.Unlock()
+	return err
+}
+
+// Open returns a reader over the whole file (blocks concatenated).
+func (s *Store) Open(name string) (io.ReadCloser, error) {
+	_, blocks, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fileReader{store: s, name: name, blocks: blocks}, nil
+}
+
+type fileReader struct {
+	store  *Store
+	name   string
+	blocks []BlockInfo
+	cur    io.ReadCloser
+	next   int
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	for {
+		if r.cur == nil {
+			if r.next >= len(r.blocks) {
+				return 0, io.EOF
+			}
+			blk, err := r.store.OpenBlock(r.name, r.blocks[r.next].Index)
+			if err != nil {
+				return 0, err
+			}
+			r.cur = blk
+			r.next++
+		}
+		n, err := r.cur.Read(p)
+		if n > 0 {
+			r.store.throttle(n)
+			return n, nil
+		}
+		if errors.Is(err, io.EOF) {
+			r.cur.Close()
+			r.cur = nil
+			continue
+		}
+		return n, err
+	}
+}
+
+func (r *fileReader) Close() error {
+	if r.cur != nil {
+		return r.cur.Close()
+	}
+	return nil
+}
+
+// OpenBlock opens one block of a file, picking any live replica. Parallel
+// engines hand distinct blocks to distinct workers.
+func (s *Store) OpenBlock(name string, index int) (io.ReadCloser, error) {
+	_, blocks, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(blocks) {
+		return nil, fmt.Errorf("dfs: %q has no block %d", name, index)
+	}
+	var lastErr error
+	for _, node := range blocks[index].Nodes {
+		f, err := os.Open(s.blockPath(name, node, index))
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dfs: all replicas of %q block %d unreadable: %w", name, index, lastErr)
+}
+
+func (s *Store) throttle(n int) {
+	if s.opts.ThrottleMBps <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(n) / (s.opts.ThrottleMBps * 1e6) * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// WriteLines writes text lines as a DFS file.
+func (s *Store) WriteLines(name string, lines []string) error {
+	w, err := s.Create(name)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, l := range lines {
+		bw.WriteString(l)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadLines reads a DFS file as text lines.
+func (s *Store) ReadLines(name string) ([]string, error) {
+	r, err := s.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+// ReadBlockLines reads the text lines belonging to one block split, using
+// the record-reader convention so that concatenating the results of all
+// blocks yields exactly the file's lines, each once: a split owns every
+// line that *starts* strictly inside it (the first line of the file belongs
+// to block 0), and the reader continues into the next block to finish a
+// line that straddles the boundary.
+func (s *Store) ReadBlockLines(name string, index int) ([]string, error) {
+	_, blocks, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(blocks) {
+		return nil, fmt.Errorf("dfs: %q has no block %d", name, index)
+	}
+	blk, err := s.OpenBlock(name, index)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(blk)
+	blk.Close()
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	if index > 0 && !blocks[index-1].EndsNL {
+		// The first (partial) line of this block is owned by the previous
+		// split; skip past it.
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// The whole block is the middle of one line owned earlier.
+			return nil, nil
+		}
+		start = nl + 1
+	}
+	var out []string
+	pos := start
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break
+		}
+		out = append(out, string(data[pos:pos+nl]))
+		pos += nl + 1
+	}
+	// A trailing fragment continues into subsequent blocks (or is the file's
+	// last, newline-less line).
+	if pos < len(data) {
+		frag := append([]byte(nil), data[pos:]...)
+		for next := index + 1; next < len(blocks); next++ {
+			nb, err := s.OpenBlock(name, next)
+			if err != nil {
+				return nil, err
+			}
+			nd, err := io.ReadAll(nb)
+			nb.Close()
+			if err != nil {
+				return nil, err
+			}
+			nl := bytes.IndexByte(nd, '\n')
+			if nl >= 0 {
+				frag = append(frag, nd[:nl]...)
+				out = append(out, string(frag))
+				return out, nil
+			}
+			frag = append(frag, nd...)
+		}
+		out = append(out, string(frag))
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+// Package tasks builds the three benchmark tasks of the paper's Table 1 —
+// WordCount (text mining), SGD (machine learning), and CrocoPR
+// (cross-community PageRank, graph mining) — as reusable plan builders
+// parameterized the way the experiments sweep them (dataset size fraction,
+// batch size, iteration count, platform pinning).
+package tasks
+
+import (
+	"strings"
+
+	"rheem"
+	"rheem/apps/ml4all"
+	"rheem/apps/xdb"
+	"rheem/internal/core"
+)
+
+// PinAll pins every operator of the plan (recursively through loop bodies)
+// to one platform — the "forced single platform" mode of Figure 9(a-c).
+func PinAll(p *core.Plan, platform string) {
+	for _, op := range p.Operators() {
+		if op.Kind.IsLoop() {
+			PinAll(op.Body, platform)
+			continue
+		}
+		op.TargetPlatform = platform
+	}
+}
+
+// PinAllBut pins every operator except those whose kind is in free — used
+// by experiments that leave e.g. only the graph operator unpinned.
+func PinAllBut(p *core.Plan, platform string, free ...core.Kind) {
+	freeSet := map[core.Kind]bool{}
+	for _, k := range free {
+		freeSet[k] = true
+	}
+	for _, op := range p.Operators() {
+		if op.Kind.IsLoop() {
+			PinAllBut(op.Body, platform, free...)
+			continue
+		}
+		if !freeSet[op.Kind] {
+			op.TargetPlatform = platform
+		}
+	}
+}
+
+// WordCount builds the 4-operator task of Table 1: read, split, count per
+// word, sink. Returns the builder and the result sink.
+func WordCount(ctx *rheem.Context, path string) (*rheem.PlanBuilder, *core.Operator) {
+	b := ctx.NewPlan("wordcount")
+	sink := b.ReadTextFile(path).
+		FlatMap("split", func(q any) []any {
+			fields := strings.Fields(q.(string))
+			out := make([]any, len(fields))
+			for i, w := range fields {
+				out[i] = core.KV{Key: w, Value: int64(1)}
+			}
+			return out
+		}).
+		ReduceBy("count",
+			func(q any) any { return q.(core.KV).Key },
+			func(a, b any) any {
+				ka, kb := a.(core.KV), b.(core.KV)
+				return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
+			}).
+		CollectSink()
+	return b, sink
+}
+
+// SGDOptions parameterize the SGD task.
+type SGDOptions struct {
+	Iterations int
+	BatchSize  int
+	Dim        int
+	Seed       int64
+}
+
+// SGD builds the 9-operator task of Table 1 (Figure 3 of the paper):
+// source, parse, cache, weights, loop(sample, compute, reduce, update),
+// sink. Returns the builder and the final-weights handle.
+func SGD(ctx *rheem.Context, path string, opts SGDOptions) (*rheem.PlanBuilder, *rheem.DataQuanta, error) {
+	b := ctx.NewPlan("sgd")
+	raw := b.ReadTextFile(path)
+	final, err := ml4all.BuildPlan(ctx, "sgd", raw, ml4all.SGD{LearningRate: 0.5}, ml4all.Options{
+		Iterations: opts.Iterations,
+		SampleSize: opts.BatchSize,
+		Dim:        opts.Dim,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, final, nil
+}
+
+// CrocoPR builds the cross-community PageRank task (27 RHEEM operators in
+// the paper's version; this build composes the same phases — per-community
+// parse/normalize/dedup preparation, community intersection, PageRank, and
+// ranking — from the xdb application). Returns the builder and the ranks
+// handle.
+func CrocoPR(ctx *rheem.Context, pathA, pathB string, iterations int) (*rheem.PlanBuilder, *rheem.DataQuanta) {
+	b := ctx.NewPlan("crocopr")
+	ranks := xdb.BuildCrossCommunityPageRank(ctx,
+		b.ReadTextFile(pathA),
+		b.ReadTextFile(pathB),
+		iterations)
+	return b, ranks
+}
+
+// OperatorCount counts the logical operators of a plan including loop
+// bodies (the Table 1 "RHEEM operators" column).
+func OperatorCount(p *core.Plan) int {
+	n := 0
+	for _, op := range p.Operators() {
+		n++
+		if op.Kind.IsLoop() && op.Body != nil {
+			n += OperatorCount(op.Body)
+		}
+	}
+	return n
+}

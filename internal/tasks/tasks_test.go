@@ -1,0 +1,155 @@
+package tasks
+
+import (
+	"testing"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/internal/datagen"
+)
+
+func fastCtx(t *testing.T) *rheem.Context {
+	t.Helper()
+	ctx, err := rheem.NewContext(rheem.Config{FastSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestWordCountTask(t *testing.T) {
+	ctx := fastCtx(t)
+	if err := ctx.DFS.WriteLines("wc.txt", []string{"x y x", "y x"}); err != nil {
+		t.Fatal(err)
+	}
+	b, sink := WordCount(ctx, "dfs://wc.txt")
+	if n := OperatorCount(b.Plan()); n != 4 {
+		t.Fatalf("WordCount operators = %d, want 4 (Table 1)", n)
+	}
+	res, err := ctx.Execute(b.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.CollectFrom(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, q := range data {
+		kv := q.(core.KV)
+		counts[kv.Key.(string)] = kv.Value.(int64)
+	}
+	if counts["x"] != 3 || counts["y"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSGDTaskOperatorCountAndRun(t *testing.T) {
+	ctx := fastCtx(t)
+	const dim = 4
+	pts := datagen.Points(300, dim, 5)
+	if err := ctx.DFS.WriteLines("sgd.csv", datagen.PointLines(pts)); err != nil {
+		t.Fatal(err)
+	}
+	b, final, err := SGD(ctx, "dfs://sgd.csv", SGDOptions{Iterations: 10, BatchSize: 30, Dim: dim, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's shape: read, parse, cache, weights, loop(+5 body ops), sink
+	// — at least the 9 operators of Table 1.
+	final.CollectSink()
+	if n := OperatorCount(b.Plan()); n < 9 {
+		t.Fatalf("SGD operators = %d, want >= 9 (Table 1)", n)
+	}
+	out, err := ctx.Execute(b.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := b.Plan().Sinks()
+	data, err := out.CollectFrom(sinks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 {
+		t.Fatalf("weights = %v", data)
+	}
+	if w := data[0].([]float64); len(w) != dim {
+		t.Fatalf("model dim = %d", len(w))
+	}
+}
+
+func TestCrocoPRTaskRuns(t *testing.T) {
+	ctx := fastCtx(t)
+	a, bb := datagen.CommunityGraphs(100, 40, 3, 9)
+	ctx.DFS.WriteLines("a.tsv", datagen.EdgeLines(a))
+	ctx.DFS.WriteLines("b.tsv", datagen.EdgeLines(bb))
+	b, ranks := CrocoPR(ctx, "dfs://a.tsv", "dfs://b.tsv", 8)
+	sink := ranks.CollectSink()
+	if n := OperatorCount(b.Plan()); n < 10 {
+		t.Fatalf("CrocoPR operators = %d, want a multi-phase plan", n)
+	}
+	res, err := ctx.Execute(b.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.CollectFrom(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("no ranks")
+	}
+	// Rank-descending output.
+	prev := 2.0
+	for _, q := range data {
+		r := q.(core.KV).Value.(float64)
+		if r > prev {
+			t.Fatal("ranks not descending")
+		}
+		prev = r
+	}
+}
+
+func TestPinAllRecursesIntoLoops(t *testing.T) {
+	ctx := fastCtx(t)
+	pts := datagen.Points(50, 3, 1)
+	ctx.DFS.WriteLines("p.csv", datagen.PointLines(pts))
+	b, final, err := SGD(ctx, "dfs://p.csv", SGDOptions{Iterations: 2, BatchSize: 10, Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final.CollectSink()
+	PinAll(b.Plan(), "flink")
+	var check func(p *core.Plan)
+	check = func(p *core.Plan) {
+		for _, op := range p.Operators() {
+			if op.Kind.IsLoop() {
+				check(op.Body)
+				continue
+			}
+			if op.TargetPlatform != "flink" {
+				t.Fatalf("%s not pinned", op)
+			}
+		}
+	}
+	check(b.Plan())
+}
+
+func TestPinAllButLeavesKindsFree(t *testing.T) {
+	ctx := fastCtx(t)
+	a, bb := datagen.CommunityGraphs(50, 20, 2, 3)
+	ctx.DFS.WriteLines("a.tsv", datagen.EdgeLines(a))
+	ctx.DFS.WriteLines("b.tsv", datagen.EdgeLines(bb))
+	b, ranks := CrocoPR(ctx, "dfs://a.tsv", "dfs://b.tsv", 3)
+	ranks.CollectSink()
+	PinAllBut(b.Plan(), "streams", core.KindPageRank)
+	for _, op := range b.Plan().Operators() {
+		if op.Kind == core.KindPageRank {
+			if op.TargetPlatform != "" {
+				t.Fatal("PageRank should stay free")
+			}
+		} else if op.TargetPlatform != "streams" {
+			t.Fatalf("%s not pinned", op)
+		}
+	}
+}

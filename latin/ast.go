@@ -1,0 +1,64 @@
+package latin
+
+import "fmt"
+
+// Script is a parsed RheemLatin program.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Stmt is either an assignment or a store statement.
+type Stmt struct {
+	Line   int
+	Name   string // assignment target; empty for store
+	Expr   *Expr  // nil for store
+	Store  string // variable stored; set for store
+	Target string // store path
+}
+
+// Expr is an operator application.
+type Expr struct {
+	Line int
+	Op   string   // "load", "map", "join", "repeat", ...
+	Args []string // dataset names, in port order
+
+	// Operator-specific fields.
+	Path        string   // load / table name
+	Store       string   // table store name
+	Columns     []int    // table projection
+	UDF         string   // registered UDF name
+	KeyUDF      string   // key extractor name
+	KeyRightUDF string   // right key extractor name
+	Number      float64  // sample size, iterations, ...
+	Method      string   // sample method
+	Seed        int64    // sample seed
+	Pred        *PredAST // declarative filter predicate
+	Collection  string   // named collection for `load collection`
+
+	// Common options.
+	Platform    string
+	Broadcasts  []string
+	Selectivity float64
+
+	// Loop body.
+	Over string
+	Body []Stmt
+}
+
+// PredAST is a parsed declarative predicate (col N <op> literal).
+type PredAST struct {
+	Col   int
+	Op    string // "=", "<", "<=", ">", ">="
+	Value any    // float64 or string
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("latin: line %d: %s", e.line, e.msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &parseError{line: line, msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,141 @@
+// Package latin implements RheemLatin, the PigLatin-inspired dataflow
+// language of the paper (Section 5): scripts are sequences of assignments
+// whose right-hand sides are platform-agnostic operators over previously
+// named datasets. UDFs are Go functions registered by name in a Registry —
+// the counterpart of the paper's `import '/sgd/udfs.class'`. Any part of a
+// query can be pinned to a platform with `with platform '...'`, and loops
+// are expressed with `repeat N over seed { ... }` blocks.
+//
+// Grammar (informal):
+//
+//	script  := stmt*
+//	stmt    := IDENT '=' expr ';'
+//	         | 'store' IDENT STRING ';'
+//	expr    := 'load' STRING
+//	         | 'load' 'collection' IDENT            // named Go collection
+//	         | 'load' 'table' STRING '.' STRING [project-list] [where]
+//	         | 'map' IDENT 'using' IDENT opts
+//	         | 'flatmap' IDENT 'using' IDENT opts
+//	         | 'filter' IDENT ('using' IDENT | 'where' predicate) opts
+//	         | 'reduce' IDENT 'using' IDENT opts
+//	         | 'reduceby' IDENT 'key' IDENT 'using' IDENT opts
+//	         | 'groupby' IDENT 'key' IDENT opts
+//	         | 'join' IDENT ',' IDENT 'on' IDENT ',' IDENT opts
+//	         | 'union' IDENT ',' IDENT | 'intersect' IDENT ',' IDENT
+//	         | 'cartesian' IDENT ',' IDENT
+//	         | 'distinct' IDENT | 'sort' IDENT | 'count' IDENT | 'cache' IDENT
+//	         | 'sample' IDENT NUMBER ['method' STRING] ['seed' NUMBER] opts
+//	         | 'pagerank' IDENT 'iterations' NUMBER
+//	         | 'repeat' NUMBER 'over' IDENT '{' stmt* '}'
+//	opts    := ('with' 'platform' STRING | 'with' 'broadcast' IDENT
+//	         | 'with' 'selectivity' NUMBER)*
+//	predicate := 'col' NUMBER ('='|'<'|'<='|'>'|'>=') (NUMBER|STRING)
+package latin
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // = ; , { } . < > <= >= ( ) [ ]
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of script"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lex tokenizes a RheemLatin script. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("latin: line %d: unterminated string", line)
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("latin: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i + 1
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], line: line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokPunct, text: src[i : i+2], line: line})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			}
+		case strings.ContainsRune("=;,{}.()[]", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("latin: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

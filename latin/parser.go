@@ -1,0 +1,446 @@
+package latin
+
+import (
+	"strconv"
+)
+
+// Parse parses a RheemLatin script.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.stmts(false)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, errf(p.cur().line, "unexpected %s", p.cur())
+	}
+	return &Script{Stmts: stmts}, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = [...]string{"end of script", "identifier", "number", "string", "punctuation"}[kind]
+	}
+	return token{}, errf(p.cur().line, "expected %s, found %s", want, p.cur())
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	return t.text, err
+}
+
+func (p *parser) number() (float64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, errf(t.line, "bad number %q", t.text)
+	}
+	return f, nil
+}
+
+// stmts parses statements until EOF (inBlock=false) or '}' (inBlock=true).
+func (p *parser) stmts(inBlock bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.at(tokEOF, "") || (inBlock && p.at(tokPunct, "}")) {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	if p.accept(tokIdent, "store") {
+		name, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		path, err := p.expect(tokString, "")
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Line: line, Store: name, Target: path.text}, nil
+	}
+	if p.accept(tokIdent, "collect") {
+		name, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Line: line, Store: name, Target: ""}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Stmt{}, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return Stmt{}, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Line: line, Name: name, Expr: e}, nil
+}
+
+func (p *parser) expr() (*Expr, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	e := &Expr{Line: t.line, Op: t.text}
+	switch t.text {
+	case "load":
+		if p.accept(tokIdent, "collection") {
+			e.Op = "load-collection"
+			e.Collection, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		} else if p.accept(tokIdent, "table") {
+			e.Op = "load-table"
+			store, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "."); err != nil {
+				return nil, err
+			}
+			table, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			e.Store, e.Path = store.text, table.text
+			if p.accept(tokPunct, "(") { // projection list
+				for {
+					n, err := p.number()
+					if err != nil {
+						return nil, err
+					}
+					e.Columns = append(e.Columns, int(n))
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(tokIdent, "where") {
+				e.Pred, err = p.predicate()
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			path, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			e.Path = path.text
+		}
+
+	case "map", "flatmap", "reduce":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "using"); err != nil {
+			return nil, err
+		}
+		e.UDF, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+
+	case "filter":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(tokIdent, "using"):
+			e.UDF, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		case p.accept(tokIdent, "where"):
+			e.Pred, err = p.predicate()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(e.Line, "filter needs 'using <udf>' or 'where <predicate>'")
+		}
+
+	case "reduceby":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "key"); err != nil {
+			return nil, err
+		}
+		if e.KeyUDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "using"); err != nil {
+			return nil, err
+		}
+		if e.UDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+
+	case "groupby":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "key"); err != nil {
+			return nil, err
+		}
+		if e.KeyUDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+
+	case "join":
+		if err := p.twoInputs(e); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "on"); err != nil {
+			return nil, err
+		}
+		if e.KeyUDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+		if e.KeyRightUDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+
+	case "union", "intersect", "cartesian":
+		if err := p.twoInputs(e); err != nil {
+			return nil, err
+		}
+
+	case "distinct", "sort", "count", "cache":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+
+	case "sample":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		if e.Number, err = p.number(); err != nil {
+			return nil, err
+		}
+		if p.accept(tokIdent, "method") {
+			m, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			e.Method = m.text
+		}
+		if p.accept(tokIdent, "seed") {
+			s, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			e.Seed = int64(s)
+		}
+
+	case "pagerank":
+		if err := p.oneInput(e); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "iterations"); err != nil {
+			return nil, err
+		}
+		if e.Number, err = p.number(); err != nil {
+			return nil, err
+		}
+
+	case "repeat":
+		if e.Number, err = p.number(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "over"); err != nil {
+			return nil, err
+		}
+		if e.Over, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		if e.Body, err = p.stmts(true); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return e, nil // loop options not supported after the block
+
+	case "dowhile":
+		if _, err := p.expect(tokIdent, "over"); err != nil {
+			return nil, err
+		}
+		if e.Over, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "max"); err != nil {
+			return nil, err
+		}
+		if e.Number, err = p.number(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "using"); err != nil {
+			return nil, err
+		}
+		if e.UDF, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		if e.Body, err = p.stmts(true); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	default:
+		return nil, errf(t.line, "unknown operator %q", t.text)
+	}
+	return e, p.options(e)
+}
+
+func (p *parser) oneInput(e *Expr) error {
+	in, err := p.ident()
+	if err != nil {
+		return err
+	}
+	e.Args = []string{in}
+	return nil
+}
+
+func (p *parser) twoInputs(e *Expr) error {
+	a, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return err
+	}
+	b, err := p.ident()
+	if err != nil {
+		return err
+	}
+	e.Args = []string{a, b}
+	return nil
+}
+
+// options parses trailing `with ...` clauses.
+func (p *parser) options(e *Expr) error {
+	for p.accept(tokIdent, "with") {
+		switch {
+		case p.accept(tokIdent, "platform"):
+			t, err := p.expect(tokString, "")
+			if err != nil {
+				return err
+			}
+			e.Platform = t.text
+		case p.accept(tokIdent, "broadcast"):
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			e.Broadcasts = append(e.Broadcasts, name)
+		case p.accept(tokIdent, "selectivity"):
+			s, err := p.number()
+			if err != nil {
+				return err
+			}
+			e.Selectivity = s
+		default:
+			return errf(p.cur().line, "unknown option %q", p.cur().text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) predicate() (*PredAST, error) {
+	if _, err := p.expect(tokIdent, "col"); err != nil {
+		return nil, err
+	}
+	col, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	switch opTok.text {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return nil, errf(opTok.line, "bad predicate operator %q", opTok.text)
+	}
+	var val any
+	switch p.cur().kind {
+	case tokNumber:
+		f, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		val = f
+	case tokString:
+		val = p.next().text
+	default:
+		return nil, errf(p.cur().line, "predicate literal must be a number or string")
+	}
+	return &PredAST{Col: int(col), Op: opTok.text, Value: val}, nil
+}

@@ -1,0 +1,157 @@
+// Package restapi exposes the system over HTTP — the REST interface of the
+// paper's Section 5. Clients submit RheemLatin scripts; the server compiles
+// them against its registered UDF library, optimizes, executes, and returns
+// the sink contents (or the explained plan) as JSON.
+//
+//	POST /v1/run      {"script": "..."}            -> {"platforms": [...], "replans": n, "sinks": {...}}
+//	POST /v1/explain  {"script": "..."}            -> {"plan": "...", "execution_plan": "..."}
+//	GET  /v1/platforms                             -> {"platforms": [...]}
+//	GET  /v1/health                                -> 200 ok
+package restapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/latin"
+)
+
+// Server wires a Context and a UDF registry into an http.Handler.
+type Server struct {
+	Ctx  *rheem.Context
+	UDFs *latin.Registry
+	// MaxResultQuanta truncates sink payloads in responses (default 10000).
+	MaxResultQuanta int
+
+	mux *http.ServeMux
+}
+
+// New creates a server around the given context and UDF library.
+func New(ctx *rheem.Context, udfs *latin.Registry) *Server {
+	s := &Server{Ctx: ctx, UDFs: udfs, MaxResultQuanta: 10000}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type scriptRequest struct {
+	Script string `json:"script"`
+}
+
+// RunResponse is the /v1/run payload.
+type RunResponse struct {
+	Platforms []string                     `json:"platforms"`
+	Replans   int                          `json:"replans"`
+	Sinks     map[string][]json.RawMessage `json:"sinks"`
+	Truncated bool                         `json:"truncated,omitempty"`
+}
+
+// ExplainResponse is the /v1/explain payload.
+type ExplainResponse struct {
+	Plan          string `json:"plan"`
+	ExecutionPlan string `json:"execution_plan"`
+}
+
+func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compiled, bool) {
+	var req scriptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	if req.Script == "" {
+		httpError(w, http.StatusBadRequest, "empty script")
+		return nil, false
+	}
+	compiled, err := latin.Compile(req.Script, s.UDFs)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		return nil, false
+	}
+	return compiled, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	compiled, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Ctx.Execute(compiled.Plan)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "execute: %v", err)
+		return
+	}
+	resp := RunResponse{
+		Platforms: res.Platforms(),
+		Replans:   res.Replans(),
+		Sinks:     map[string][]json.RawMessage{},
+	}
+	limit := s.MaxResultQuanta
+	if limit <= 0 {
+		limit = 10000
+	}
+	for name, sink := range compiled.Sinks {
+		data, err := res.CollectFrom(sink)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "collect %s: %v", name, err)
+			return
+		}
+		if len(data) > limit {
+			data = data[:limit]
+			resp.Truncated = true
+		}
+		encoded := make([]json.RawMessage, len(data))
+		for i, q := range data {
+			raw, err := core.EncodeQuantum(q)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "encode result: %v", err)
+				return
+			}
+			encoded[i] = raw
+		}
+		resp.Sinks[name] = encoded
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	compiled, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	ep, err := s.Ctx.Optimize(compiled.Plan)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "optimize: %v", err)
+		return
+	}
+	writeJSON(w, ExplainResponse{Plan: compiled.Plan.String(), ExecutionPlan: ep.String()})
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string][]string{"platforms": s.Ctx.Registry.Mappings.Platforms()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
