@@ -1,32 +1,50 @@
 // Command rheem-server serves the REST interface (Section 5 of the paper):
-// clients POST RheemLatin scripts to /v1/run or /v1/explain and get JSON
-// back. The server ships the same demonstration UDF library as the rheem
-// CLI; embedders construct restapi.Server with their own registry.
+// clients POST RheemLatin scripts to /v1/run for synchronous execution, or
+// to /v1/jobs for asynchronous execution with admission control, polling
+// /v1/jobs/{id} for status and /v1/jobs/{id}/result for the sinks.
+// /v1/metrics exposes system-wide telemetry in Prometheus text format.
+// The server ships the same demonstration UDF library as the rheem CLI;
+// embedders construct restapi.Server with their own registry.
 //
-//	rheem-server -addr :8080
-//	curl -X POST localhost:8080/v1/run -d '{"script": "..."}'
+//	rheem-server -addr :8080 -workers 4 -queue 64
+//	curl -X POST localhost:8080/v1/jobs -d '{"script": "..."}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"rheem"
 	"rheem/internal/core"
+	"rheem/internal/jobs"
 	"rheem/latin"
 	"rheem/restapi"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	fast := flag.Bool("fast", false, "disable the simulated cluster latencies")
 	costs := flag.String("costs", "", "path to a learned cost table (JSON)")
 	dfsDir := flag.String("dfs", "", "DFS root directory (default: temporary)")
+	queue := flag.Int("queue", 64, "admission queue depth; further submissions get 429")
+	workers := flag.Int("workers", 4, "concurrent job executions")
+	resultTTL := flag.Duration("result-ttl", 10*time.Minute, "how long finished job results are retained")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	flag.Parse()
 
 	ctx, err := rheem.NewContext(rheem.Config{
@@ -36,13 +54,51 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rheem-server:", err)
-		os.Exit(1)
+		return 1
 	}
-	srv := restapi.New(ctx, serverUDFs())
-	log.Printf("rheem-server listening on %s (platforms: %v)", *addr, ctx.Registry.Mappings.Platforms())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	srv := restapi.NewWithOptions(ctx, serverUDFs(), restapi.Options{
+		Jobs: jobs.Options{
+			QueueDepth: *queue,
+			Workers:    *workers,
+			ResultTTL:  *resultTTL,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Serve until SIGINT/SIGTERM, then drain: stop admitting new work,
+	// finish in-flight requests and jobs, and report anything abandoned.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("rheem-server listening on %s (platforms: %v, workers: %d, queue: %d)",
+		*addr, ctx.Registry.Mappings.Platforms(), *workers, *queue)
+
+	select {
+	case err := <-errCh:
+		log.Print(err)
+		return 1
+	case <-sigCtx.Done():
 	}
+	stop() // restore default signal handling: a second signal kills immediately
+	log.Printf("rheem-server: shutting down (drain timeout %v)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("rheem-server: http shutdown: %v", err)
+	}
+	if err := srv.Close(drainCtx); err != nil {
+		log.Printf("rheem-server: %v", err)
+		if errors.Is(err, jobs.ErrClosed) {
+			return 0
+		}
+		return 1
+	}
+	log.Print("rheem-server: drained cleanly")
+	return 0
 }
 
 // serverUDFs is the demonstration UDF library (shared shape with cmd/rheem).

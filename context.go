@@ -18,6 +18,7 @@
 package rheem
 
 import (
+	"context"
 	"fmt"
 
 	"rheem/internal/core"
@@ -33,6 +34,7 @@ import (
 	"rheem/internal/platform/streams"
 	"rheem/internal/progressive"
 	"rheem/internal/storage/dfs"
+	"rheem/internal/telemetry"
 )
 
 // Config configures a Context.
@@ -47,6 +49,9 @@ type Config struct {
 	// CostTablePath loads a learned cost table; empty uses the calibrated
 	// defaults.
 	CostTablePath string
+	// Metrics receives executor/optimizer telemetry; nil creates a private
+	// registry (exposed as Context.Metrics).
+	Metrics *telemetry.Registry
 
 	// Engine overrides; zero values use each engine's defaults.
 	SparkConfig    spark.Config
@@ -66,6 +71,8 @@ type Context struct {
 	Registry *core.Registry
 	DFS      *dfs.Store
 	Costs    *optimizer.CostTable
+	// Metrics is the telemetry registry every execution records into.
+	Metrics *telemetry.Registry
 
 	relStores map[string]*relstore.Store
 	relDriver *relstore.Driver
@@ -100,9 +107,14 @@ func NewContext(cfg Config) (*Context, error) {
 		singleNodeSlowdown = 1
 	}
 
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+	}
 	ctx := &Context{
 		Registry:  core.NewRegistry(),
 		DFS:       store,
+		Metrics:   metrics,
 		relStores: map[string]*relstore.Store{},
 	}
 	enabled := map[string]bool{}
@@ -284,6 +296,7 @@ func (c *Context) optimizerOptions(ec *execConfig) optimizer.Options {
 		Costs:      c.Costs,
 		Resolve:    c.resolver(),
 		Exhaustive: ec.exhaustive,
+		Metrics:    c.Metrics,
 	}
 	if ec.monetary {
 		opts.Objective = optimizer.ObjectiveMonetary
@@ -293,32 +306,41 @@ func (c *Context) optimizerOptions(ec *execConfig) optimizer.Options {
 
 // Execute optimizes and runs a plan.
 func (c *Context) Execute(p *core.Plan, options ...ExecOption) (*Result, error) {
+	return c.ExecuteCtx(context.Background(), p, options...)
+}
+
+// ExecuteCtx optimizes and runs a plan under a context: cancellation or an
+// expired deadline aborts the execution at the next stage boundary (stage
+// outputs are materialized at-rest channels, so nothing needs unwinding).
+// This is the path the async job service uses for per-job cancellation and
+// deadlines.
+func (c *Context) ExecuteCtx(ctx context.Context, p *core.Plan, options ...ExecOption) (*Result, error) {
 	ec := newExecConfig(options)
 	opts := c.optimizerOptions(ec)
 	ep, err := optimizer.Optimize(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return c.execute(p, ep, opts, ec)
+	return c.execute(ctx, p, ep, opts, ec)
 }
 
 // ExecutePlanned runs an already-optimized plan (used by the experiment
 // harness to measure optimization and execution separately).
 func (c *Context) ExecutePlanned(p *core.Plan, ep *core.ExecPlan, options ...ExecOption) (*Result, error) {
 	ec := newExecConfig(options)
-	return c.execute(p, ep, c.optimizerOptions(ec), ec)
+	return c.execute(context.Background(), p, ep, c.optimizerOptions(ec), ec)
 }
 
-func (c *Context) execute(p *core.Plan, ep *core.ExecPlan, opts optimizer.Options, ec *execConfig) (*Result, error) {
+func (c *Context) execute(ctx context.Context, p *core.Plan, ep *core.ExecPlan, opts optimizer.Options, ec *execConfig) (*Result, error) {
 	mon := monitor.New()
-	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers}
+	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers, Metrics: c.Metrics}
 	var re *progressive.Reoptimizer
 	if ec.progressive {
 		re = progressive.New(p, ep, opts)
 		re.MismatchFactor = ec.mismatchFactor
 		ex.Checkpoint = re.Checkpoint
 	}
-	res, err := ex.Run(ep)
+	res, err := ex.RunCtx(ctx, ep)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"rheem/internal/core"
 	"rheem/internal/monitor"
 	"rheem/internal/platform/driverutil"
+	"rheem/internal/telemetry"
 )
 
 // CheckpointFn is the progressive optimizer's hook. After each execution
@@ -28,6 +30,9 @@ type Executor struct {
 	// (basic cross-platform fault tolerance; stage inputs are materialized
 	// at-rest channels, so a retry restarts from the last checkpoint).
 	StageRetries int
+	// Metrics records stage counts and per-platform stage time; nil skips
+	// instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // Result is the outcome of a plan execution.
@@ -66,11 +71,20 @@ func (r *Result) FirstSinkData() ([]any, error) {
 
 // Run executes the plan to completion.
 func (ex *Executor) Run(ep *core.ExecPlan) (*Result, error) {
-	return ex.run(ep, nil, nil, 0)
+	return ex.RunCtx(context.Background(), ep)
+}
+
+// RunCtx executes the plan, honoring ctx at every stage boundary: once a
+// dispatched wave of stages completes, a cancelled or expired context
+// aborts the remainder of the plan. Stage terminals are materialized
+// at-rest channels, so aborting between waves leaves no platform state to
+// unwind.
+func (ex *Executor) RunCtx(ctx context.Context, ep *core.ExecPlan) (*Result, error) {
+	return ex.run(ctx, ep, nil, nil, 0)
 }
 
 // run executes ep; loopVar/outerChans are set for loop-body executions.
-func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (*Result, error) {
+func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (*Result, error) {
 	stages, err := BuildStages(ep)
 	if err != nil {
 		return nil, err
@@ -83,6 +97,11 @@ func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.O
 	done := map[*core.Stage]bool{}
 
 	for len(done) < len(stages) {
+		// Stage boundary: the previous wave's outputs are at rest, so this
+		// is the safe point to abandon a cancelled execution.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("executor: aborted at stage boundary: %w", err)
+		}
 		var wave []*core.Stage
 		for _, s := range stages {
 			if done[s] {
@@ -117,8 +136,15 @@ func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.O
 			wg.Add(1)
 			go func(i int, s *core.Stage) {
 				defer wg.Done()
+				// Last-resort guard: a panic escaping a driver (e.g. a UDF
+				// in a loop condition) fails the stage, not the process.
+				defer func() {
+					if r := recover(); r != nil {
+						outcomes[i] = outcome{stage: s, err: fmt.Errorf("executor: %s: panic: %v", s, r)}
+					}
+				}()
 				if s.Platform == "" {
-					outs, err := ex.runLoopStage(ep, s, chans, loopVar, outerChans)
+					outs, err := ex.runLoopStage(ctx, ep, s, chans, loopVar, outerChans)
 					outcomes[i] = outcome{stage: s, outs: outs, err: err}
 					return
 				}
@@ -126,6 +152,10 @@ func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.O
 				var stats *core.StageStats
 				var err error
 				for attempt := 0; attempt <= ex.StageRetries; attempt++ {
+					if ctxErr := ctx.Err(); ctxErr != nil {
+						err = ctxErr
+						break
+					}
 					outs, stats, err = ex.runDriverStage(ep, s, chans, loopVar, outerChans, round)
 					if err == nil {
 						break
@@ -155,6 +185,8 @@ func (ex *Executor) run(ep *core.ExecPlan, loopVar []any, outerChans map[*core.O
 				if ex.Monitor != nil {
 					ex.Monitor.Record(oc.stats)
 				}
+				ex.Metrics.Counter("rheem_executor_stages_total", telemetry.L("platform", oc.stage.Platform)).Inc()
+				ex.Metrics.Counter("rheem_executor_stage_seconds_total", telemetry.L("platform", oc.stage.Platform)).Add(oc.stats.Runtime.Seconds())
 			}
 		}
 
@@ -291,7 +323,7 @@ func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *chan
 
 // runLoopStage evaluates a loop operator: materialize the loop input,
 // iterate the optimized body plan, and publish the final value.
-func (ex *Executor) runLoopStage(ep *core.ExecPlan, s *core.Stage, chans *channelStore, outerLoopVar []any, outerChans map[*core.Operator]*core.Channel) (map[*core.Operator]*core.Channel, error) {
+func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core.Stage, chans *channelStore, outerLoopVar []any, outerChans map[*core.Operator]*core.Channel) (map[*core.Operator]*core.Channel, error) {
 	loop := s.Ops[0]
 	body := ep.LoopBodies[loop]
 	if body == nil {
@@ -336,6 +368,9 @@ func (ex *Executor) runLoopStage(ep *core.ExecPlan, s *core.Stage, chans *channe
 		}
 	}
 	for roundNo := 0; ; roundNo++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("executor: loop %s aborted at round %d: %w", loop, roundNo, err)
+		}
 		if loop.Kind == core.KindRepeat && roundNo >= iters {
 			break
 		}
@@ -345,7 +380,7 @@ func (ex *Executor) runLoopStage(ep *core.ExecPlan, s *core.Stage, chans *channe
 		if loop.Kind == core.KindDoWhile && loop.UDF.Cond != nil && !loop.UDF.Cond(roundNo, loopVar) {
 			break
 		}
-		sub, err := ex.run(body, loopVar, refs, roundNo)
+		sub, err := ex.run(ctx, body, loopVar, refs, roundNo)
 		if err != nil {
 			return nil, fmt.Errorf("executor: loop %s round %d: %w", loop, roundNo, err)
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// experiment shape tests compare wall-clock timings of competing
+// implementations; the detector's uneven slowdown distorts those ratios,
+// so timing-sensitive assertions are skipped under -race.
+const raceEnabled = true

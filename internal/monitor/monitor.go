@@ -7,6 +7,7 @@
 package monitor
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -80,6 +81,56 @@ func (m *Monitor) TotalRuntime() time.Duration {
 		total += s.Runtime
 	}
 	return total
+}
+
+// OpSnapshot is one operator's observations, rendered with plain types so
+// it can be serialized into a job status payload.
+type OpSnapshot struct {
+	Op        string  `json:"op"`
+	OutCard   int64   `json:"out_card"`
+	RuntimeMs float64 `json:"runtime_ms"`
+}
+
+// StageSnapshot is one executed stage's observations.
+type StageSnapshot struct {
+	Stage     string       `json:"stage"`
+	Platform  string       `json:"platform"`
+	RuntimeMs float64      `json:"runtime_ms"`
+	Ops       []OpSnapshot `json:"ops,omitempty"`
+}
+
+// Snapshot is a serializable summary of everything the monitor observed;
+// the job manager attaches it to each finished job's status payload so
+// per-job stage timings are queryable over REST.
+type Snapshot struct {
+	Stages         []StageSnapshot `json:"stages"`
+	TotalRuntimeMs float64         `json:"total_runtime_ms"`
+}
+
+// Snapshot renders the monitor's observations with stages in completion
+// order and each stage's operators sorted by name.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{}
+	for _, s := range m.stages {
+		ss := StageSnapshot{RuntimeMs: float64(s.Runtime) / float64(time.Millisecond)}
+		if s.Stage != nil {
+			ss.Stage = s.Stage.String()
+			ss.Platform = s.Stage.Platform
+		}
+		for op, os := range s.Ops {
+			ss.Ops = append(ss.Ops, OpSnapshot{
+				Op:        op.String(),
+				OutCard:   os.OutCard,
+				RuntimeMs: float64(os.Runtime) / float64(time.Millisecond),
+			})
+		}
+		sort.Slice(ss.Ops, func(i, j int) bool { return ss.Ops[i].Op < ss.Ops[j].Op })
+		snap.Stages = append(snap.Stages, ss)
+		snap.TotalRuntimeMs += ss.RuntimeMs
+	}
+	return snap
 }
 
 // Mismatch is a health-check finding: an operator whose observed output

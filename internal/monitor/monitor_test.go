@@ -48,6 +48,37 @@ func TestMonitorAccumulates(t *testing.T) {
 	}
 }
 
+func TestSnapshot(t *testing.T) {
+	m := New()
+	opA := &core.Operator{Kind: core.KindMap, Label: "a"}
+	opB := &core.Operator{Kind: core.KindFilter, Label: "b"}
+	m.Record(stats("spark", 10*time.Millisecond, map[*core.Operator]int64{opA: 100, opB: 7}))
+	m.Record(stats("streams", 4*time.Millisecond, map[*core.Operator]int64{opB: 7}))
+
+	snap := m.Snapshot()
+	if len(snap.Stages) != 2 {
+		t.Fatalf("stages = %d", len(snap.Stages))
+	}
+	if snap.Stages[0].Platform != "spark" || snap.Stages[1].Platform != "streams" {
+		t.Fatalf("platform order = %+v", snap.Stages)
+	}
+	if snap.TotalRuntimeMs != 14 {
+		t.Fatalf("total = %v ms", snap.TotalRuntimeMs)
+	}
+	// Operators render sorted by name with their observed cardinalities.
+	first := snap.Stages[0]
+	if len(first.Ops) != 2 || first.Ops[0].Op >= first.Ops[1].Op {
+		t.Fatalf("ops not sorted: %+v", first.Ops)
+	}
+	cards := map[string]int64{}
+	for _, o := range first.Ops {
+		cards[o.Op] = o.OutCard
+	}
+	if cards["Map(a)"] != 100 && cards[first.Ops[0].Op]+cards[first.Ops[1].Op] != 107 {
+		t.Fatalf("cards = %v", cards)
+	}
+}
+
 func TestHealthCheckOrdersByFactor(t *testing.T) {
 	m := New()
 	opA := &core.Operator{Kind: core.KindFilter, Label: "mild"}

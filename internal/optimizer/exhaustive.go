@@ -45,6 +45,7 @@ func enumerateExhaustive(p *core.Plan, opts Options, inflated map[*core.Operator
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(ops) {
+			opts.Metrics.Counter("rheem_optimizer_plans_considered_total").Inc()
 			c, ok := planCost(p, opts, inflated, cards, choice)
 			if ok && c < bestCost {
 				bestCost = c

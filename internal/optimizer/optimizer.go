@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"rheem/internal/core"
+	"rheem/internal/telemetry"
 )
 
 // Options configure an optimization run.
@@ -24,6 +26,9 @@ type Options struct {
 	Objective Objective
 	// DefaultLoopIterations is assumed for DoWhile loops without a bound.
 	DefaultLoopIterations int
+	// Metrics records enumeration time and plans considered; nil skips
+	// instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // Objective is the optimization goal.
@@ -72,7 +77,13 @@ func Optimize(p *core.Plan, opts Options) (*core.ExecPlan, error) {
 	if err := opts.Registry.Mappings.Validate(p); err != nil {
 		return nil, err
 	}
-	return optimize(p, opts, nil, nil)
+	start := time.Now()
+	ep, err := optimize(p, opts, nil, nil)
+	if err == nil {
+		opts.Metrics.Counter("rheem_optimizer_optimizations_total").Inc()
+		opts.Metrics.Histogram("rheem_optimizer_enumeration_seconds", nil).Observe(time.Since(start).Seconds())
+	}
+	return ep, err
 }
 
 // optimize is the recursive worker; loopSeed pins the loop-input estimate
@@ -264,6 +275,8 @@ func enumeratePruned(p *core.Plan, opts Options, inflated map[*core.Operator][]e
 				startup += opts.Registry.StartupCostMs(pf) * opts.weight(pf)
 			}
 		}
+		// Each platform-subset DP pass evaluates one candidate plan shape.
+		opts.Metrics.Counter("rheem_optimizer_plans_considered_total").Inc()
 		choice, cost, ok := dpEnumerate(p, opts, inflated, cards, allowed)
 		if !ok {
 			continue

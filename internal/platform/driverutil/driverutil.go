@@ -9,6 +9,7 @@ package driverutil
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rheem/internal/core"
@@ -17,6 +18,40 @@ import (
 // Data is an engine's native representation of a dataset (an iterator
 // pipeline, a partitioned RDD, a table reference, ...).
 type Data any
+
+// Trap collects the first panic observed by an engine's worker goroutines
+// so the caller can re-raise it on its own goroutine, under RunStage's
+// recover — a panic on a bare worker goroutine would kill the process
+// instead of failing the stage. Use as: `defer trap.Guard()` in each
+// worker (or around each work item, if the worker must keep draining a
+// feed channel), then `trap.Rethrow()` after the wait point.
+type Trap struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+// Guard recovers a panic on the calling goroutine and records the first
+// one. It must be invoked directly by defer.
+func (t *Trap) Guard() {
+	if r := recover(); r != nil {
+		t.mu.Lock()
+		if !t.set {
+			t.val, t.set = r, true
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Rethrow re-raises the recorded panic, if any, on the calling goroutine.
+func (t *Trap) Rethrow() {
+	t.mu.Lock()
+	val, set := t.val, t.set
+	t.mu.Unlock()
+	if set {
+		panic(val)
+	}
+}
 
 // Engine is the platform-specific part of stage execution.
 type Engine interface {

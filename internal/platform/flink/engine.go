@@ -137,11 +137,14 @@ func (f *flow) narrow(card int64, transform func(in <-chan any, out chan<- any))
 func (f *flow) exchange(width int, key func(any) any) [][]any {
 	parts := f.materialize()
 	buckets := make([][][]any, len(parts))
+	// key is user code: trap panics so they fail the stage, not the process.
+	var trap driverutil.Trap
 	var wg sync.WaitGroup
 	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer trap.Guard()
 			local := make([][]any, width)
 			for _, q := range parts[i] {
 				h := int(hashOf(core.GroupKey(key(q))) % uint64(width))
@@ -151,6 +154,7 @@ func (f *flow) exchange(width int, key func(any) any) [][]any {
 		}(i)
 	}
 	wg.Wait()
+	trap.Rethrow()
 	out := make([][]any, width)
 	for j := 0; j < width; j++ {
 		for i := range buckets {
@@ -176,10 +180,12 @@ func parallelParts(parts [][]any, fn func(part []any) ([]any, error)) ([][]any, 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var trap driverutil.Trap
 	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer trap.Guard()
 			res, err := fn(parts[i])
 			if err != nil {
 				mu.Lock()
@@ -193,6 +199,7 @@ func parallelParts(parts [][]any, fn func(part []any) ([]any, error)) ([][]any, 
 		}(i)
 	}
 	wg.Wait()
+	trap.Rethrow()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -510,6 +517,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 		ls := in[0].exchange(w, op.UDF.Key)
 		rs := in[1].exchange(w, driverutil.KeyRight(op))
 		out := make([][]any, w)
+		var trap driverutil.Trap
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		var firstErr error
@@ -517,6 +525,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				defer trap.Guard()
 				res, err := driverutil.HashJoin(op, ls[i], rs[i])
 				if err != nil {
 					mu.Lock()
@@ -530,6 +539,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 			}(i)
 		}
 		wg.Wait()
+		trap.Rethrow()
 		if firstErr != nil {
 			return nil, firstErr
 		}
@@ -588,6 +598,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 		ls := in[0].exchange(w, op.UDF.Key)
 		rs := in[1].exchange(w, driverutil.KeyRight(op))
 		out := make([][]any, w)
+		var trap driverutil.Trap
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		var firstErr error
@@ -595,6 +606,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				defer trap.Guard()
 				res, err := driverutil.CoGroup(op, ls[i], rs[i])
 				if err != nil {
 					mu.Lock()
@@ -608,6 +620,7 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 			}(i)
 		}
 		wg.Wait()
+		trap.Rethrow()
 		if firstErr != nil {
 			return nil, firstErr
 		}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"rheem/internal/core"
+	"rheem/internal/platform/driverutil"
 )
 
 // RDD is a partitioned in-memory dataset.
@@ -84,6 +85,15 @@ func pool(n, width int, fn func(i int)) {
 		}
 		return
 	}
+	// Guard each work item: a panicking UDF must fail the stage (via
+	// Rethrow on the caller, under driverutil.RunStage's recover), not
+	// kill the process — and the worker must keep draining next so the
+	// feeding loop below never deadlocks.
+	var trap driverutil.Trap
+	call := func(i int) {
+		defer trap.Guard()
+		fn(i)
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < width; w++ {
@@ -91,7 +101,7 @@ func pool(n, width int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -100,6 +110,7 @@ func pool(n, width int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	trap.Rethrow()
 }
 
 // mapPartitions applies fn to every partition in parallel.

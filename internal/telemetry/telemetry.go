@@ -1,0 +1,364 @@
+// Package telemetry is a small, dependency-free metrics registry for the
+// service layer: counters, gauges, and fixed-bucket histograms with
+// Prometheus-style text exposition. The job manager, the executor, and the
+// optimizer record into a shared Registry; restapi serves it at
+// GET /v1/metrics.
+//
+// All metric types are safe for concurrent use. Accessor methods on a nil
+// *Registry return detached (unregistered but functional) metrics, so
+// instrumented code never needs a nil check.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families keyed by name; each family holds one
+// series per distinct label set.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    string // "counter", "gauge", "histogram"
+	buckets []float64
+	series  map[string]metricSeries // label signature -> series
+}
+
+type metricSeries interface {
+	labelSignature() string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry used when no explicit one is wired.
+var Default = NewRegistry()
+
+// Help sets the family's HELP text emitted in the exposition.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	r.families[name] = &family{name: name, help: help, series: map[string]metricSeries{}}
+}
+
+// family fetches or creates the named family, enforcing kind consistency.
+func (r *Registry) family(name, kind string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, series: map[string]metricSeries{}}
+		r.families[name] = f
+	}
+	if f.kind == "" { // created by Help() before first use
+		f.kind, f.buckets = kind, buckets
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter series for the given name and labels,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, "counter", nil)
+	if s, ok := f.series[sig]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{sig: sig}
+	f.series[sig] = c
+	return c
+}
+
+// Gauge returns the gauge series for the given name and labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, "gauge", nil)
+	if s, ok := f.series[sig]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{sig: sig}
+	f.series[sig] = g
+	return g
+}
+
+// Histogram returns the histogram series for the given name and labels.
+// buckets are the upper bounds (ascending); nil uses DefBuckets. The bucket
+// layout is fixed by the first registration of the family.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if r == nil {
+		return newHistogram("", buckets)
+	}
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, "histogram", buckets)
+	if s, ok := f.series[sig]; ok {
+		return s.(*Histogram)
+	}
+	h := newHistogram(sig, f.buckets)
+	f.series[sig] = h
+	return h
+}
+
+// signature renders a sorted, escaped label set: `k1="v1",k2="v2"`.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+	sig  string
+}
+
+func (c *Counter) labelSignature() string { return c.sig }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	addFloat(&c.bits, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+	sig  string
+}
+
+func (g *Gauge) labelSignature() string { return g.sig }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	sig     string
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumBits atomic.Uint64
+}
+
+func newHistogram(sig string, bounds []float64) *Histogram {
+	return &Histogram{sig: sig, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *Histogram) labelSignature() string { return h.sig }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4), families and series in deterministic order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type famCopy struct {
+		f      *family
+		series []metricSeries
+	}
+	fams := make([]famCopy, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		fc := famCopy{f: f}
+		for _, sig := range sigs {
+			fc.series = append(fc.series, f.series[sig])
+		}
+		fams = append(fams, fc)
+	}
+	r.mu.Unlock()
+
+	for _, fc := range fams {
+		f := fc.f
+		if len(fc.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range fc.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Expose renders the whole registry as a string (tests, debugging).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	_ = r.WriteProm(&b)
+	return b.String()
+}
+
+func writeSeries(w io.Writer, f *family, s metricSeries) error {
+	switch m := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, m.sig), fmtFloat(m.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, m.sig), fmtFloat(m.Value()))
+		return err
+	case *Histogram:
+		var cum uint64
+		for i, bound := range m.bounds {
+			cum += m.counts[i].Load()
+			le := fmtFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", joinSig(m.sig, `le="`+le+`"`)), cum); err != nil {
+				return err
+			}
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", joinSig(m.sig, `le="+Inf"`)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", m.sig), fmtFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", m.sig), cum)
+		return err
+	}
+	return nil
+}
+
+func seriesName(name, sig string) string {
+	if sig == "" {
+		return name
+	}
+	return name + "{" + sig + "}"
+}
+
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

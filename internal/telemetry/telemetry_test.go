@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("code", "200"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Same name+labels resolves to the same series.
+	if r.Counter("requests_total", L("code", "200")) != c {
+		t.Fatal("counter series not deduplicated")
+	}
+	// Different labels are a different series.
+	if r.Counter("requests_total", L("code", "500")) == c {
+		t.Fatal("distinct labels share a series")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(4)
+	g.Dec()
+	g.Add(2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 105.65 {
+		t.Fatalf("sum = %v, want 105.65", h.Sum())
+	}
+	out := r.Expose()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and 0.1 (le is inclusive)
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("jobs_total", "Terminal job outcomes.")
+	r.Counter("jobs_total", L("state", "succeeded")).Add(7)
+	r.Gauge("inflight").Set(2)
+	out := r.Expose()
+	for _, want := range []string{
+		"# HELP jobs_total Terminal job outcomes.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="succeeded"} 7`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("err", "a \"b\"\nc\\d")).Inc()
+	out := r.Expose()
+	if !strings.Contains(out, `m{err="a \"b\"\nc\\d"} 1`) {
+		t.Fatalf("bad escaping:\n%s", out)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(0.5)
+	r.Help("x", "ignored")
+	if out := r.Expose(); out != "" {
+		t.Fatalf("nil registry exposed %q", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

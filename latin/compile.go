@@ -68,6 +68,19 @@ func (r *Registry) RegisterCond(name string, fn func(round int, current []any) b
 	r.conds[name] = fn
 }
 
+// UnknownSinkError reports a store/collect statement referencing a dataset
+// name the script never defined — a client mistake, distinguishable from
+// other compile errors so callers (restapi) can map it to 400 rather than
+// a server-side failure.
+type UnknownSinkError struct {
+	Name string
+	Line int
+}
+
+func (e *UnknownSinkError) Error() string {
+	return fmt.Sprintf("line %d: store/collect references unknown dataset %q", e.Line, e.Name)
+}
+
 // Compiled is the result of compiling a script: the plan plus the sink
 // operators, keyed by the name each store/collect statement referenced.
 type Compiled struct {
@@ -94,7 +107,7 @@ func CompileScript(script *Script, reg *Registry) (*Compiled, error) {
 		if s.Expr == nil { // store / collect
 			src, ok := env.vars[s.Store]
 			if !ok {
-				return nil, errf(s.Line, "unknown dataset %q", s.Store)
+				return nil, &UnknownSinkError{Name: s.Store, Line: s.Line}
 			}
 			var sink *core.Operator
 			if s.Target == "" {

@@ -1,40 +1,96 @@
 // Package restapi exposes the system over HTTP — the REST interface of the
-// paper's Section 5. Clients submit RheemLatin scripts; the server compiles
-// them against its registered UDF library, optimizes, executes, and returns
-// the sink contents (or the explained plan) as JSON.
+// paper's Section 5, grown into a small service layer. Clients submit
+// RheemLatin scripts either synchronously (/v1/run) or as asynchronous jobs
+// (/v1/jobs) managed by internal/jobs: a bounded queue with admission
+// control (429 when saturated), a worker pool, per-job cancellation, and a
+// TTL-evicting result store. System-wide telemetry is exposed in the
+// Prometheus text format.
 //
-//	POST /v1/run      {"script": "..."}            -> {"platforms": [...], "replans": n, "sinks": {...}}
-//	POST /v1/explain  {"script": "..."}            -> {"plan": "...", "execution_plan": "..."}
-//	GET  /v1/platforms                             -> {"platforms": [...]}
-//	GET  /v1/health                                -> 200 ok
+//	POST   /v1/run             {"script": "..."}  -> {"platforms": [...], "replans": n, "sinks": {...}}
+//	POST   /v1/explain         {"script": "..."}  -> {"plan": "...", "execution_plan": "..."}
+//	POST   /v1/jobs            {"script": "..."}  -> 202 {"id": "...", "state": "queued"}
+//	GET    /v1/jobs/{id}                          -> status + timestamps (+ monitor snapshot when finished)
+//	GET    /v1/jobs/{id}/result [?sink=name]      -> the run payload of a succeeded job
+//	DELETE /v1/jobs/{id}                          -> cancel a queued or running job
+//	GET    /v1/metrics                            -> Prometheus text exposition
+//	GET    /v1/platforms                          -> {"platforms": [...]}
+//	GET    /v1/health                             -> 200 ok
 package restapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"rheem"
 	"rheem/internal/core"
+	"rheem/internal/jobs"
+	"rheem/internal/monitor"
 	"rheem/latin"
 )
 
-// Server wires a Context and a UDF registry into an http.Handler.
+// Options configure a Server beyond its defaults.
+type Options struct {
+	// Jobs configure the async job manager (queue depth, workers, result
+	// TTL, retries...). Jobs.Metrics defaults to the context's registry.
+	Jobs jobs.Options
+	// MaxBodyBytes caps request bodies (default 1 MiB); larger scripts get
+	// a 413 instead of being decoded unbounded.
+	MaxBodyBytes int64
+	// MaxResultQuanta truncates sink payloads in responses (default 10000).
+	MaxResultQuanta int
+}
+
+// Server wires a Context, a UDF registry, and a job manager into an
+// http.Handler.
 type Server struct {
 	Ctx  *rheem.Context
 	UDFs *latin.Registry
+	Jobs *jobs.Manager
 	// MaxResultQuanta truncates sink payloads in responses (default 10000).
 	MaxResultQuanta int
+	// MaxBodyBytes caps request bodies; <= 0 falls back to 1 MiB.
+	MaxBodyBytes int64
 
 	mux *http.ServeMux
 }
 
-// New creates a server around the given context and UDF library.
+// New creates a server with default options.
 func New(ctx *rheem.Context, udfs *latin.Registry) *Server {
-	s := &Server{Ctx: ctx, UDFs: udfs, MaxResultQuanta: 10000}
+	return NewWithOptions(ctx, udfs, Options{})
+}
+
+// NewWithOptions creates a server around the given context and UDF library,
+// starting its job manager.
+func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Server {
+	if opts.Jobs.Metrics == nil {
+		opts.Jobs.Metrics = ctx.Metrics
+	}
+	if opts.MaxResultQuanta <= 0 {
+		opts.MaxResultQuanta = 10000
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		Ctx:             ctx,
+		UDFs:            udfs,
+		Jobs:            jobs.New(opts.Jobs),
+		MaxResultQuanta: opts.MaxResultQuanta,
+		MaxBodyBytes:    opts.MaxBodyBytes,
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -43,6 +99,10 @@ func New(ctx *rheem.Context, udfs *latin.Registry) *Server {
 	return s
 }
 
+// Close drains the job manager: admission stops immediately, queued and
+// running jobs get until ctx expires, and an error reports abandoned jobs.
+func (s *Server) Close(ctx context.Context) error { return s.Jobs.Close(ctx) }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -50,7 +110,7 @@ type scriptRequest struct {
 	Script string `json:"script"`
 }
 
-// RunResponse is the /v1/run payload.
+// RunResponse is the /v1/run payload (and a succeeded job's result).
 type RunResponse struct {
 	Platforms []string                     `json:"platforms"`
 	Replans   int                          `json:"replans"`
@@ -64,9 +124,39 @@ type ExplainResponse struct {
 	ExecutionPlan string `json:"execution_plan"`
 }
 
+// SubmitResponse acknowledges an async submission.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobStatusResponse is the /v1/jobs/{id} payload.
+type JobStatusResponse struct {
+	ID          string            `json:"id"`
+	State       string            `json:"state"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	Attempts    int               `json:"attempts"`
+	Error       string            `json:"error,omitempty"`
+	Monitor     *monitor.Snapshot `json:"monitor,omitempty"`
+}
+
+// jobOutcome is the value a job's runner stores in the result store.
+type jobOutcome struct {
+	resp RunResponse
+	snap monitor.Snapshot
+}
+
 func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compiled, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
 	var req scriptRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return nil, false
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil, false
 	}
@@ -76,22 +166,36 @@ func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compile
 	}
 	compiled, err := latin.Compile(req.Script, s.UDFs)
 	if err != nil {
+		var unknownSink *latin.UnknownSinkError
+		if errors.As(err, &unknownSink) {
+			// The script stores/collects a dataset it never defined — a
+			// malformed request, not a server failure.
+			httpError(w, http.StatusBadRequest, "compile: %v", err)
+			return nil, false
+		}
 		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
 		return nil, false
 	}
 	return compiled, true
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	compiled, ok := s.compile(w, r)
-	if !ok {
-		return
+// runner builds the job body: execute the precompiled plan under the job's
+// context and render the response payload plus the monitor snapshot.
+func (s *Server) runner(compiled *latin.Compiled) jobs.Runner {
+	return func(ctx context.Context) (any, error) {
+		res, err := s.Ctx.ExecuteCtx(ctx, compiled.Plan)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.renderRun(res, compiled)
+		if err != nil {
+			return nil, err
+		}
+		return &jobOutcome{resp: resp, snap: res.Monitor().Snapshot()}, nil
 	}
-	res, err := s.Ctx.Execute(compiled.Plan)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "execute: %v", err)
-		return
-	}
+}
+
+func (s *Server) renderRun(res *rheem.Result, compiled *latin.Compiled) (RunResponse, error) {
 	resp := RunResponse{
 		Platforms: res.Platforms(),
 		Replans:   res.Replans(),
@@ -104,8 +208,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for name, sink := range compiled.Sinks {
 		data, err := res.CollectFrom(sink)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "collect %s: %v", name, err)
-			return
+			return resp, fmt.Errorf("collect %s: %w", name, err)
 		}
 		if len(data) > limit {
 			data = data[:limit]
@@ -115,14 +218,164 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		for i, q := range data {
 			raw, err := core.EncodeQuantum(q)
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, "encode result: %v", err)
-				return
+				return resp, fmt.Errorf("encode result: %w", err)
 			}
 			encoded[i] = raw
 		}
 		resp.Sinks[name] = encoded
 	}
+	return resp, nil
+}
+
+// handleRun is the synchronous convenience: it submits through the same
+// job manager (sharing admission control and telemetry) and waits inline.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	compiled, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	id, err := s.Jobs.Submit(s.runner(compiled))
+	if err != nil {
+		httpError(w, admissionStatus(err), "submit: %v", err)
+		return
+	}
+	st, err := s.Jobs.Wait(r.Context(), id)
+	if err != nil {
+		// The client went away; stop burning workers on the abandoned run.
+		_ = s.Jobs.Cancel(id)
+		httpError(w, http.StatusServiceUnavailable, "wait: %v", err)
+		return
+	}
+	switch st.State {
+	case jobs.StateSucceeded:
+		outcome, err := s.Jobs.Result(id)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "result: %v", err)
+			return
+		}
+		writeJSON(w, outcome.(*jobOutcome).resp)
+	case jobs.StateCancelled:
+		httpError(w, http.StatusServiceUnavailable, "execution cancelled")
+	default:
+		httpError(w, http.StatusInternalServerError, "execute: %s", st.Err)
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	compiled, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	id, err := s.Jobs.Submit(s.runner(compiled))
+	if err != nil {
+		httpError(w, admissionStatus(err), "submit: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(SubmitResponse{ID: id, State: string(jobs.StateQueued)})
+}
+
+func admissionStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Jobs.Get(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "job %s: %v", id, err)
+		return
+	}
+	resp := JobStatusResponse{
+		ID:          st.ID,
+		State:       string(st.State),
+		SubmittedAt: st.SubmittedAt,
+		Attempts:    st.Attempts,
+		Error:       st.Err,
+	}
+	if !st.StartedAt.IsZero() {
+		t := st.StartedAt
+		resp.StartedAt = &t
+	}
+	if !st.FinishedAt.IsZero() {
+		t := st.FinishedAt
+		resp.FinishedAt = &t
+	}
+	if st.State == jobs.StateSucceeded {
+		if outcome, err := s.Jobs.Result(id); err == nil {
+			snap := outcome.(*jobOutcome).snap
+			resp.Monitor = &snap
+		}
+	}
 	writeJSON(w, resp)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	outcome, err := s.Jobs.Result(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "job %s: %v", id, err)
+		return
+	case errors.Is(err, jobs.ErrNotFinished):
+		httpError(w, http.StatusConflict, "job %s is not finished", id)
+		return
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusConflict, "job %s was cancelled", id)
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, "job %s failed: %v", id, err)
+		return
+	}
+	resp := outcome.(*jobOutcome).resp
+	if sink := r.URL.Query().Get("sink"); sink != "" {
+		data, ok := resp.Sinks[sink]
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown sink %q (have: %s)", sink, strings.Join(sinkNames(resp.Sinks), ", "))
+			return
+		}
+		resp = RunResponse{Platforms: resp.Platforms, Replans: resp.Replans, Truncated: resp.Truncated,
+			Sinks: map[string][]json.RawMessage{sink: data}}
+	}
+	writeJSON(w, resp)
+}
+
+func sinkNames(sinks map[string][]json.RawMessage) []string {
+	out := make([]string, 0, len(sinks))
+	for name := range sinks {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.Jobs.Cancel(id); {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitResponse{ID: id, State: string(jobs.StateCancelled)})
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "job %s: %v", id, err)
+	case errors.Is(err, jobs.ErrAlreadyFinished):
+		httpError(w, http.StatusConflict, "job %s: %v", id, err)
+	default:
+		httpError(w, http.StatusInternalServerError, "cancel %s: %v", id, err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Ctx.Metrics.WriteProm(w)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

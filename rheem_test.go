@@ -1,6 +1,8 @@
 package rheem
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sort"
 	"strings"
@@ -256,5 +258,43 @@ func TestSortedOutputDeterministic(t *testing.T) {
 	}
 	if !sort.SliceIsSorted(vals, func(i, j int) bool { return vals[i] < vals[j] }) {
 		t.Fatalf("not sorted: %v", vals)
+	}
+}
+
+func TestExecuteCtxCancellation(t *testing.T) {
+	ctx := fastCtx(t)
+	b := ctx.NewPlan("cancellable")
+	d := b.LoadCollection("nums", []any{int64(1), int64(2), int64(3)}).
+		Map("id", func(q any) any { return q })
+	sink := d.CollectSink()
+
+	// A live context executes normally.
+	res, err := ctx.ExecuteCtx(context.Background(), b.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := res.CollectFrom(sink); err != nil || len(data) != 3 {
+		t.Fatalf("collect = %v, %v", data, err)
+	}
+
+	// A pre-cancelled context aborts at the first stage boundary.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ctx.ExecuteCtx(cancelled, b.Plan()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled execute = %v, want context.Canceled", err)
+	}
+
+	// Execute (no context) still works through the same path.
+	if _, err := ctx.Execute(b.Plan()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry accumulated across the runs: the optimizer counted its
+	// optimizations and the executor recorded per-platform stage time.
+	if got := ctx.Metrics.Counter("rheem_optimizer_optimizations_total").Value(); got < 2 {
+		t.Fatalf("optimizations counter = %v, want >= 2", got)
+	}
+	if !strings.Contains(ctx.Metrics.Expose(), "rheem_executor_stages_total") {
+		t.Fatalf("executor stage metrics missing:\n%s", ctx.Metrics.Expose())
 	}
 }
