@@ -15,8 +15,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -27,6 +27,8 @@ import (
 	"rheem"
 	"rheem/internal/core"
 	"rheem/internal/jobs"
+	"rheem/internal/telemetry"
+	"rheem/internal/xlog"
 	"rheem/latin"
 	"rheem/restapi"
 )
@@ -45,7 +47,17 @@ func run() int {
 	resultTTL := flag.Duration("result-ttl", 10*time.Minute, "how long finished job results are retained")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	traceCap := flag.Int("trace-capacity", 256, "per-job execution traces retained (LRU)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	level, err := xlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rheem-server:", err)
+		return 2
+	}
+	logger := xlog.New(os.Stderr, level).With("component", "server")
 
 	ctx, err := rheem.NewContext(rheem.Config{
 		FastSimulation: *fast,
@@ -53,7 +65,7 @@ func run() int {
 		DFSDir:         *dfsDir,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rheem-server:", err)
+		logger.Error("startup failed", "error", err)
 		return 1
 	}
 	srv := restapi.NewWithOptions(ctx, serverUDFs(), restapi.Options{
@@ -62,9 +74,32 @@ func run() int {
 			Workers:    *workers,
 			ResultTTL:  *resultTTL,
 		},
-		MaxBodyBytes: *maxBody,
+		MaxBodyBytes:  *maxBody,
+		TraceCapacity: *traceCap,
+		Log:           xlog.New(os.Stderr, level),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	sampler := telemetry.StartRuntimeSampler(ctx.Metrics, 0)
+
+	// pprof gets its own mux on its own listener: profiling endpoints are
+	// operator-only and must never ride on the public API address.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server stopped", "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop admitting new work,
 	// finish in-flight requests and jobs, and report anything abandoned.
@@ -73,31 +108,37 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("rheem-server listening on %s (platforms: %v, workers: %d, queue: %d)",
-		*addr, ctx.Registry.Mappings.Platforms(), *workers, *queue)
+	logger.Info("listening", "addr", *addr,
+		"platforms", fmt.Sprintf("%v", ctx.Registry.Mappings.Platforms()),
+		"workers", *workers, "queue", *queue, "level", level)
 
 	select {
 	case err := <-errCh:
-		log.Print(err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	case <-sigCtx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills immediately
-	log.Printf("rheem-server: shutting down (drain timeout %v)", *drainTimeout)
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("rheem-server: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
-	if err := srv.Close(drainCtx); err != nil {
-		log.Printf("rheem-server: %v", err)
-		if errors.Is(err, jobs.ErrClosed) {
+	if pprofSrv != nil {
+		_ = pprofSrv.Shutdown(drainCtx)
+	}
+	closeErr := srv.Close(drainCtx)
+	sampler.Stop()
+	if closeErr != nil {
+		logger.Error("drain incomplete", "error", closeErr)
+		if errors.Is(closeErr, jobs.ErrClosed) {
 			return 0
 		}
 		return 1
 	}
-	log.Print("rheem-server: drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }
 

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 
 	"rheem"
 	"rheem/internal/core"
+	"rheem/internal/trace"
 	"rheem/latin"
 )
 
@@ -32,6 +35,7 @@ func main() {
 	fast := flag.Bool("fast", false, "disable the simulated cluster latencies")
 	costs := flag.String("costs", "", "path to a learned cost table (JSON)")
 	dfsDir := flag.String("dfs", "", "DFS root directory (default: temporary)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	src := ""
@@ -72,9 +76,29 @@ func main() {
 		return
 	}
 
-	res, err := ctx.Execute(compiled.Plan)
+	var tr *trace.Tracer
+	execCtx := context.Background()
+	if *traceOut != "" {
+		tr = trace.New(trace.KindJob, "job:"+compiled.Plan.Name)
+		tr.Metrics = ctx.Metrics
+		execCtx = trace.NewContext(execCtx, tr.Root())
+	}
+	res, err := ctx.ExecuteCtx(execCtx, compiled.Plan)
+	if tr != nil {
+		root := tr.Root()
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+		if werr := writeChromeTrace(*traceOut, tr); werr != nil {
+			fmt.Fprintln(os.Stderr, "rheem: writing trace:", werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	fmt.Printf("executed on platforms: %v (replans: %d)\n", res.Platforms(), res.Replans())
 	for name, sink := range compiled.Sinks {
@@ -96,6 +120,14 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rheem:", err)
 	os.Exit(1)
+}
+
+func writeChromeTrace(path string, tr *trace.Tracer) error {
+	data, err := json.MarshalIndent(tr.ChromeTrace(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // demoScript is Listing 1 of the paper, adapted to the Go UDF registry.

@@ -35,6 +35,7 @@ import (
 	"rheem/internal/progressive"
 	"rheem/internal/storage/dfs"
 	"rheem/internal/telemetry"
+	"rheem/internal/trace"
 )
 
 // Config configures a Context.
@@ -317,6 +318,10 @@ func (c *Context) Execute(p *core.Plan, options ...ExecOption) (*Result, error) 
 func (c *Context) ExecuteCtx(ctx context.Context, p *core.Plan, options ...ExecOption) (*Result, error) {
 	ec := newExecConfig(options)
 	opts := c.optimizerOptions(ec)
+	// Attach the caller's trace span (if any) so the initial optimization —
+	// and, via progressive's Checkpoint, every replan — lands in the job's
+	// span tree.
+	opts.Trace = trace.FromContext(ctx)
 	ep, err := optimizer.Optimize(p, opts)
 	if err != nil {
 		return nil, err

@@ -4,19 +4,24 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"rheem/internal/core"
 	"rheem/internal/monitor"
 	"rheem/internal/platform/driverutil"
 	"rheem/internal/telemetry"
+	"rheem/internal/trace"
 )
 
 // CheckpointFn is the progressive optimizer's hook. After each execution
 // wave the executor pauses at the optimization checkpoint and calls it with
 // the observed cardinalities and the already-executed operators; a non-nil
 // returned plan replaces the assignments of all not-yet-executed operators.
-type CheckpointFn func(observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error)
+// ctx carries the current trace span, so a re-optimization annotates the
+// executing job's span tree with its replan span.
+type CheckpointFn func(ctx context.Context, observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error)
 
 // Executor runs execution plans over the registered platform drivers.
 type Executor struct {
@@ -96,6 +101,12 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 	executedOps := map[*core.Operator]bool{}
 	done := map[*core.Stage]bool{}
 
+	// parent is the trace span this execution annotates (nil when tracing
+	// is off; every emission below is nil-guarded so the disabled path
+	// stays allocation-free).
+	parent := trace.FromContext(ctx)
+	waveNo := 0
+
 	for len(done) < len(stages) {
 		// Stage boundary: the previous wave's outputs are at rest, so this
 		// is the safe point to abandon a cancelled execution.
@@ -124,6 +135,12 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 
 		// Dispatch the wave's stages in parallel (inter-platform
 		// parallelism); loop pseudo-stages run in the executor itself.
+		var waveSp *trace.Span
+		if parent != nil {
+			waveSp = parent.Start(trace.KindWave, "wave-"+strconv.Itoa(waveNo))
+			waveSp.SetInt("stages", int64(len(wave)))
+		}
+		waveNo++
 		type outcome struct {
 			stage *core.Stage
 			outs  map[*core.Operator]*core.Channel
@@ -136,6 +153,12 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 			wg.Add(1)
 			go func(i int, s *core.Stage) {
 				defer wg.Done()
+				var stSp *trace.Span
+				if waveSp != nil {
+					stSp = waveSp.Start(trace.KindStage, s.String())
+					stSp.SetAttr("platform", s.Platform)
+				}
+				defer stSp.End()
 				// Last-resort guard: a panic escaping a driver (e.g. a UDF
 				// in a loop condition) fails the stage, not the process.
 				defer func() {
@@ -144,7 +167,7 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 					}
 				}()
 				if s.Platform == "" {
-					outs, err := ex.runLoopStage(ctx, ep, s, chans, loopVar, outerChans)
+					outs, err := ex.runLoopStage(trace.NewContext(ctx, stSp), ep, s, chans, loopVar, outerChans)
 					outcomes[i] = outcome{stage: s, outs: outs, err: err}
 					return
 				}
@@ -156,15 +179,30 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 						err = ctxErr
 						break
 					}
-					outs, stats, err = ex.runDriverStage(ep, s, chans, loopVar, outerChans, round)
+					var retrySp *trace.Span
+					if stSp != nil && attempt > 0 {
+						retrySp = stSp.Start(trace.KindRetry, "retry-"+strconv.Itoa(attempt))
+					}
+					outs, stats, err = ex.runDriverStage(ep, s, chans, loopVar, outerChans, round, stSp)
+					if err != nil {
+						retrySp.SetAttr("error", err.Error())
+					}
+					retrySp.End()
 					if err == nil {
 						break
 					}
+				}
+				if stSp != nil && stats != nil {
+					annotateStageSpan(stSp, s, stats)
+				}
+				if err != nil {
+					stSp.SetAttr("error", err.Error())
 				}
 				outcomes[i] = outcome{stage: s, outs: outs, stats: stats, err: err}
 			}(i, s)
 		}
 		wg.Wait()
+		waveSp.End()
 
 		for _, oc := range outcomes {
 			if oc.err != nil {
@@ -198,7 +236,7 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 			if ex.Monitor != nil {
 				observed = ex.Monitor.ObservedCards()
 			}
-			newEP, err := ex.Checkpoint(observed, executedOps)
+			newEP, err := ex.Checkpoint(ctx, observed, executedOps)
 			if err != nil {
 				return nil, fmt.Errorf("executor: progressive re-optimization: %w", err)
 			}
@@ -228,13 +266,44 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 		}
 	}
 	if ep.Plan.LoopOutput != nil {
-		ch, err := chans.fetch(ep.Plan.LoopOutput, []string{"collection"})
+		ch, err := chans.fetch(ep.Plan.LoopOutput, []string{"collection"}, parent)
 		if err != nil {
 			return nil, fmt.Errorf("executor: loop output: %w", err)
 		}
 		res.LoopOut = ch
 	}
 	return res, nil
+}
+
+// annotateStageSpan enriches a completed stage's span: the measured stage
+// runtime, plus one attributed child span per operator carrying the
+// estimated vs. observed cardinality and their mismatch factor. Operator
+// runtimes are the monitor's attributed shares, laid out sequentially
+// ending at the stage's completion instant (attribution, not measurement).
+func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) {
+	stSp.SetFloat("runtime_ms", float64(stats.Runtime)/float64(time.Millisecond))
+	var total time.Duration
+	for _, os := range stats.Ops {
+		total += os.Runtime
+	}
+	cur := time.Now().Add(-total)
+	for _, op := range s.Ops {
+		os, ok := stats.Ops[op]
+		if !ok {
+			continue
+		}
+		opSp := stSp.AddTimed(trace.KindOperator, op.String(), cur, cur.Add(os.Runtime))
+		cur = cur.Add(os.Runtime)
+		opSp.SetAttr("platform", s.Platform)
+		opSp.SetInt("observed_card", os.OutCard)
+		if a := s.ExecPlan.Assignments[op]; a != nil {
+			opSp.SetAttr("estimated_card", a.OutCard.String())
+			opSp.SetFloat("mismatch_factor", a.OutCard.MismatchFactor(os.OutCard))
+			if a.CoveredBy == nil {
+				opSp.SetAttr("cost_est", a.CostEst.String())
+			}
+		}
+	}
 }
 
 // mergePlans keeps the old assignments for executed operators and adopts
@@ -269,9 +338,10 @@ func mergePlans(old, new *core.ExecPlan, executed map[*core.Operator]bool) *core
 	return merged
 }
 
-// runDriverStage prepares a stage's inputs (converting channels as needed)
-// and hands it to its platform driver.
-func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *channelStore, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (map[*core.Operator]*core.Channel, *core.StageStats, error) {
+// runDriverStage prepares a stage's inputs (converting channels as needed,
+// emitting channel-conversion spans under sp) and hands it to its platform
+// driver.
+func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *channelStore, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int, sp *trace.Span) (map[*core.Operator]*core.Channel, *core.StageStats, error) {
 	driver, err := ex.Registry.Driver(s.Platform)
 	if err != nil {
 		return nil, nil, err
@@ -289,7 +359,7 @@ func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *chan
 				continue
 			}
 			acceptable := acceptableChannels(ep, op)
-			ch, err := chans.fetch(producer, acceptable)
+			ch, err := chans.fetch(producer, acceptable, sp)
 			if err != nil {
 				return nil, nil, fmt.Errorf("executor: feeding %s: %w", op, err)
 			}
@@ -298,7 +368,7 @@ func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *chan
 	}
 	for op, producers := range s.ExternalBroadcast {
 		for _, producer := range producers {
-			ch, err := chans.fetch(producer, []string{"collection"})
+			ch, err := chans.fetch(producer, []string{"collection"}, sp)
 			if err != nil {
 				return nil, nil, fmt.Errorf("executor: broadcast to %s: %w", op, err)
 			}
@@ -329,10 +399,11 @@ func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core
 	if body == nil {
 		return nil, fmt.Errorf("executor: loop %s has no optimized body", loop)
 	}
+	sp := trace.FromContext(ctx)
 	// Loop-carried value from the loop's input port.
 	var loopVar []any
 	if len(loop.Inputs()) > 0 {
-		ch, err := chans.fetch(loop.Inputs()[0], []string{"collection"})
+		ch, err := chans.fetch(loop.Inputs()[0], []string{"collection"}, sp)
 		if err != nil {
 			return nil, fmt.Errorf("executor: loop %s input: %w", loop, err)
 		}
@@ -380,10 +451,20 @@ func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core
 		if loop.Kind == core.KindDoWhile && loop.UDF.Cond != nil && !loop.UDF.Cond(roundNo, loopVar) {
 			break
 		}
-		sub, err := ex.run(ctx, body, loopVar, refs, roundNo)
+		roundCtx := ctx
+		var roundSp *trace.Span
+		if sp != nil {
+			roundSp = sp.Start(trace.KindLoop, "round-"+strconv.Itoa(roundNo))
+			roundSp.SetInt("loop_var_card", int64(len(loopVar)))
+			roundCtx = trace.NewContext(ctx, roundSp)
+		}
+		sub, err := ex.run(roundCtx, body, loopVar, refs, roundNo)
 		if err != nil {
+			roundSp.SetAttr("error", err.Error())
+			roundSp.End()
 			return nil, fmt.Errorf("executor: loop %s round %d: %w", loop, roundNo, err)
 		}
+		roundSp.End()
 		if sub.LoopOut == nil {
 			return nil, fmt.Errorf("executor: loop %s body produced no output", loop)
 		}
@@ -459,8 +540,9 @@ func (cs *channelStore) put(op *core.Operator, ch *core.Channel) {
 // fetch returns op's output as one of the acceptable channel types,
 // converting via the cheapest conversion path when necessary. Converted
 // forms are cached so several consumers share one conversion (the shared
-// prefixes of the minimal conversion tree).
-func (cs *channelStore) fetch(op *core.Operator, acceptable []string) (*core.Channel, error) {
+// prefixes of the minimal conversion tree). Each conversion step is
+// recorded as a channel-conversion span under sp.
+func (cs *channelStore) fetch(op *core.Operator, acceptable []string, sp *trace.Span) (*core.Channel, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	m := cs.byOp[op]
@@ -495,12 +577,24 @@ func (cs *channelStore) fetch(op *core.Operator, acceptable []string) (*core.Cha
 	}
 	cur := bestSrc
 	for _, step := range bestPath.Steps {
+		var convSp *trace.Span
+		if sp != nil {
+			convSp = sp.Start(trace.KindConversion, step.Name)
+			convSp.SetAttr("from", cur.Desc.Name)
+		}
 		next, err := step.Convert(cur)
 		if err != nil {
+			convSp.SetAttr("error", err.Error())
+			convSp.End()
 			return nil, fmt.Errorf("conversion %s: %w", step.Name, err)
 		}
 		if next.Card < 0 {
 			next.Card = cur.Card
+		}
+		if convSp != nil {
+			convSp.SetAttr("to", next.Desc.Name)
+			convSp.SetInt("card", next.Card)
+			convSp.End()
 		}
 		m[next.Desc.Name] = next
 		cur = next

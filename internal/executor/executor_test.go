@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sort"
@@ -492,7 +493,7 @@ func TestCheckpointReplans(t *testing.T) {
 
 	calls := 0
 	ep := e.optimize(t, p)
-	e.ex.Checkpoint = func(observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error) {
+	e.ex.Checkpoint = func(_ context.Context, observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error) {
 		calls++
 		if calls == 1 {
 			// Re-optimize with the observed cardinalities pinned.

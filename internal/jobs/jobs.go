@@ -16,10 +16,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"rheem/internal/telemetry"
+	"rheem/internal/trace"
+	"rheem/internal/xlog"
 )
 
 // Sentinel errors returned by Manager methods.
@@ -102,6 +105,9 @@ type Options struct {
 	Timeout time.Duration
 	// Metrics receives queue/outcome/latency instrumentation; nil disables.
 	Metrics *telemetry.Registry
+	// Log receives job lifecycle events (admitted, started, retried,
+	// terminal); nil disables logging.
+	Log *xlog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +160,9 @@ type job struct {
 	cancel      context.CancelFunc // set while running
 	cancelReq   bool               // user asked for cancellation
 	done        chan struct{}      // closed on terminal transition
+
+	tracer    *trace.Tracer // optional per-job span tree
+	queueSpan *trace.Span   // queue-wait span, open from Submit to pickup
 }
 
 // Manager owns the queue, the worker pool, the job table, and the janitor.
@@ -225,6 +234,13 @@ func WithTimeout(d time.Duration) SubmitOption {
 	return func(j *job) { j.timeout = d }
 }
 
+// WithTracer attaches a per-job tracer: the manager records a queue-wait
+// span, one span per attempt (propagated into the Runner's context), and
+// closes the root span with the terminal state when the job finishes.
+func WithTracer(tr *trace.Tracer) SubmitOption {
+	return func(j *job) { j.tracer = tr }
+}
+
 // Submit enqueues a job, returning its id, or ErrQueueFull/ErrClosed when
 // admission control rejects it.
 func (m *Manager) Submit(runner Runner, opts ...SubmitOption) (string, error) {
@@ -238,10 +254,17 @@ func (m *Manager) Submit(runner Runner, opts ...SubmitOption) (string, error) {
 	for _, o := range opts {
 		o(j)
 	}
+	// Open the queue-wait span before the job becomes visible to workers:
+	// once enqueued, a worker may pick it up (and end the span) immediately.
+	if j.tracer != nil {
+		j.queueSpan = j.tracer.Root().Start(trace.KindQueueWait, "queue-wait")
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		m.mRejected.Inc()
+		j.queueSpan.End()
+		m.opts.Log.Warn("job rejected", "reason", "closed")
 		return "", ErrClosed
 	}
 	m.seq++
@@ -253,11 +276,17 @@ func (m *Manager) Submit(runner Runner, opts ...SubmitOption) (string, error) {
 	default:
 		m.mu.Unlock()
 		m.mRejected.Inc()
+		j.queueSpan.End()
+		m.opts.Log.Warn("job rejected", "reason", "queue full")
 		return "", ErrQueueFull
 	}
 	m.jobs[j.id] = j
 	m.mu.Unlock()
+	if j.tracer != nil {
+		j.tracer.Root().SetAttr("job_id", j.id)
+	}
 	m.mQueueDepth.Set(float64(len(m.queue)))
+	m.opts.Log.Info("job admitted", "job", j.id, "queue_depth", len(m.queue))
 	return j.id, nil
 }
 
@@ -403,6 +432,8 @@ func (m *Manager) runJob(j *job) {
 	j.startedAt = time.Now()
 	j.cancel = cancel
 	j.mu.Unlock()
+	j.queueSpan.End()
+	m.opts.Log.Info("job started", "job", j.id)
 	m.mInFlight.Inc()
 	defer m.mInFlight.Dec()
 
@@ -410,8 +441,19 @@ func (m *Manager) runJob(j *job) {
 	for {
 		j.mu.Lock()
 		j.attempts++
+		attempt := j.attempts
 		j.mu.Unlock()
-		result, err := j.runner(ctx)
+		runCtx := ctx
+		var attSp *trace.Span
+		if j.tracer != nil {
+			attSp = j.tracer.Root().Start(trace.KindAttempt, "attempt-"+strconv.Itoa(attempt))
+			runCtx = trace.NewContext(ctx, attSp)
+		}
+		result, err := j.runner(runCtx)
+		if err != nil {
+			attSp.SetAttr("error", err.Error())
+		}
+		attSp.End()
 		if err == nil {
 			m.finish(j, StateSucceeded, result, nil)
 			return
@@ -425,6 +467,7 @@ func (m *Manager) runJob(j *job) {
 			return
 		}
 		m.mRetries.Inc()
+		m.opts.Log.Warn("job attempt failed, retrying", "job", j.id, "attempt", attempt, "error", err, "backoff", backoff)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -474,6 +517,20 @@ func (m *Manager) finishLocked(j *job, state State, result any, err error) (time
 	j.err = err
 	j.finishedAt = time.Now()
 	close(j.done)
+	j.queueSpan.End() // idempotent; covers jobs cancelled while queued
+	if j.tracer != nil {
+		root := j.tracer.Root()
+		root.SetAttr("state", string(state))
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+	}
+	if state == StateSucceeded {
+		m.opts.Log.Info("job finished", "job", j.id, "state", state, "attempts", j.attempts)
+	} else {
+		m.opts.Log.Warn("job finished", "job", j.id, "state", state, "attempts", j.attempts, "error", err)
+	}
 	return j.finishedAt.Sub(j.submittedAt), true
 }
 

@@ -160,13 +160,13 @@ func (m *Monitor) HealthCheck(ep *core.ExecPlan, factor float64) []Mismatch {
 			out = append(out, Mismatch{Op: op, Estimate: a.OutCard, Observed: n, Factor: f})
 		}
 	}
-	// Worst first.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j].Factor > out[i].Factor {
-				out[i], out[j] = out[j], out[i]
-			}
+	// Worst first; equal factors order by operator name so the ranking is
+	// deterministic across runs (map iteration above is not).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Factor != out[j].Factor {
+			return out[i].Factor > out[j].Factor
 		}
-	}
+		return out[i].Op.String() < out[j].Op.String()
+	})
 	return out
 }

@@ -106,3 +106,36 @@ func TestHealthCheckOrdersByFactor(t *testing.T) {
 		t.Fatalf("unknown op not ignored: %v", got)
 	}
 }
+
+// TestHealthCheckDeterministicTieBreak feeds many equal-factor mismatches
+// through repeated checks: map iteration order varies, the ranking must not.
+func TestHealthCheckDeterministicTieBreak(t *testing.T) {
+	m := New()
+	cards := map[*core.Operator]int64{}
+	assignments := map[*core.Operator]*core.Assignment{}
+	for _, label := range []string{"e", "b", "d", "a", "c", "f", "h", "g"} {
+		op := &core.Operator{Kind: core.KindFilter, Label: label}
+		cards[op] = 100 // every operator mismatches by the same factor 10
+		assignments[op] = &core.Assignment{OutCard: core.CardEstimate{Low: 10, High: 10, Confidence: 1}}
+	}
+	m.Record(stats("spark", time.Millisecond, cards))
+	ep := &core.ExecPlan{Assignments: assignments}
+
+	first := m.HealthCheck(ep, 4)
+	if len(first) != len(cards) {
+		t.Fatalf("mismatches = %d, want %d", len(first), len(cards))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Op.String() >= first[i].Op.String() {
+			t.Fatalf("equal factors not ordered by name: %v then %v", first[i-1].Op, first[i].Op)
+		}
+	}
+	for round := 0; round < 20; round++ {
+		again := m.HealthCheck(ep, 4)
+		for i := range first {
+			if again[i].Op != first[i].Op {
+				t.Fatalf("round %d: rank %d flapped from %v to %v", round, i, first[i].Op, again[i].Op)
+			}
+		}
+	}
+}

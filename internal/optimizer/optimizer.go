@@ -8,6 +8,7 @@ import (
 
 	"rheem/internal/core"
 	"rheem/internal/telemetry"
+	"rheem/internal/trace"
 )
 
 // Options configure an optimization run.
@@ -29,6 +30,10 @@ type Options struct {
 	// Metrics records enumeration time and plans considered; nil skips
 	// instrumentation.
 	Metrics *telemetry.Registry
+	// Trace, when set, is the parent span the optimization annotates with
+	// an "optimize" span (phases and per-alternative costs as children and
+	// attributes); nil disables tracing.
+	Trace *trace.Span
 }
 
 // Objective is the optimization goal.
@@ -78,11 +83,19 @@ func Optimize(p *core.Plan, opts Options) (*core.ExecPlan, error) {
 		return nil, err
 	}
 	start := time.Now()
+	sp := opts.Trace.Start(trace.KindOptimize, "optimize:"+p.Name)
+	opts.Trace = sp // loop bodies and phase spans nest under this run
 	ep, err := optimize(p, opts, nil, nil)
 	if err == nil {
 		opts.Metrics.Counter("rheem_optimizer_optimizations_total").Inc()
 		opts.Metrics.Histogram("rheem_optimizer_enumeration_seconds", nil).Observe(time.Since(start).Seconds())
+		sp.SetFloat("cost_low_ms", ep.Cost.LowMs)
+		sp.SetFloat("cost_high_ms", ep.Cost.HighMs)
+		sp.SetFloat("confidence", ep.Cost.Confidence)
+	} else {
+		sp.SetAttr("error", err.Error())
 	}
+	sp.End()
 	return ep, err
 }
 
@@ -105,7 +118,10 @@ func optimize(p *core.Plan, opts Options, loopSeed *core.CardEstimate, outerCard
 		}
 		return core.CardEstimate{}, false
 	}
+	cardSp := opts.Trace.Start("estimate-cards", "estimate-cards")
 	cards, err := EstimateCards(p, resolve, opts.KnownCards)
+	cardSp.SetInt("operators", int64(len(cards)))
+	cardSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -115,13 +131,20 @@ func optimize(p *core.Plan, opts Options, loopSeed *core.CardEstimate, outerCard
 		return nil, err
 	}
 
+	enumSp := opts.Trace.Start("enumerate", "enumerate")
 	var choice map[*core.Operator]int
 	var baseCost float64
 	if opts.Exhaustive {
+		enumSp.SetAttr("strategy", "exhaustive")
 		choice, baseCost, err = enumerateExhaustive(p, opts, inflated, cards)
 	} else {
+		enumSp.SetAttr("strategy", "pruned")
 		choice, baseCost, err = enumeratePruned(p, opts, inflated, cards)
 	}
+	if err == nil {
+		enumSp.SetFloat("base_cost_ms", baseCost)
+	}
+	enumSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +171,12 @@ func optimize(p *core.Plan, opts Options, loopSeed *core.CardEstimate, outerCard
 			OutCard: cards[op],
 			CostEst: opts.Costs.AlternativeCost(ent.alt, inCard, cards[op]),
 		}
+		if opts.Trace != nil {
+			// Per-alternative decision record: which implementation won and
+			// at what estimated cost, directly on the optimize span.
+			opts.Trace.SetAttr("alt."+op.String(),
+				fmt.Sprintf("%s cost=%s card=%s", ent.alt.String(), ep.Assignments[op].CostEst, cards[op]))
+		}
 	}
 	for c, holder := range covered {
 		ep.Assignments[c] = &core.Assignment{OutCard: cards[c], CoveredBy: holder}
@@ -163,7 +192,14 @@ func optimize(p *core.Plan, opts Options, loopSeed *core.CardEstimate, outerCard
 		if len(op.Inputs()) > 0 {
 			seed = cards[op.Inputs()[0]]
 		}
-		body, err := optimize(op.Body, opts, &seed, cards)
+		bodyOpts := opts
+		var bodySp *trace.Span
+		if opts.Trace != nil {
+			bodySp = opts.Trace.Start(trace.KindOptimize, "optimize-body:"+op.String())
+			bodyOpts.Trace = bodySp
+		}
+		body, err := optimize(op.Body, bodyOpts, &seed, cards)
+		bodySp.End()
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: loop %s body: %w", op, err)
 		}
@@ -186,9 +222,13 @@ func optimize(p *core.Plan, opts Options, loopSeed *core.CardEstimate, outerCard
 
 	// Movement planning: one conversion tree per producer whose consumers
 	// need channels other than the produced one.
+	mvSp := opts.Trace.Start("plan-movement", "plan-movement")
 	if err := planMovement(p, opts, ep, cards, covered); err != nil {
+		mvSp.End()
 		return nil, err
 	}
+	mvSp.SetInt("movements", int64(len(ep.Movements)))
+	mvSp.End()
 	for _, mv := range ep.Movements {
 		total = total.Add(mv.CostEst)
 	}

@@ -7,8 +7,16 @@
 package progressive
 
 import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
 	"rheem/internal/core"
+	"rheem/internal/monitor"
 	"rheem/internal/optimizer"
+	"rheem/internal/trace"
 )
 
 // Reoptimizer produces the executor's checkpoint hook for one plan run.
@@ -41,8 +49,10 @@ func (r *Reoptimizer) Replans() int { return r.replans }
 
 // Checkpoint implements the executor's CheckpointFn: it compares observed
 // cardinalities of executed operators against the current plan's estimates
-// and re-optimizes the remainder when the mismatch is gross.
-func (r *Reoptimizer) Checkpoint(observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error) {
+// and re-optimizes the remainder when the mismatch is gross. The replan is
+// traced as a replan-N span under the span carried by ctx, annotated with
+// the triggering mismatches.
+func (r *Reoptimizer) Checkpoint(ctx context.Context, observed map[*core.Operator]int64, executed map[*core.Operator]bool) (*core.ExecPlan, error) {
 	if r.replans >= r.MaxReplans {
 		return nil, nil
 	}
@@ -50,7 +60,7 @@ func (r *Reoptimizer) Checkpoint(observed map[*core.Operator]int64, executed map
 	if threshold <= 1 {
 		threshold = 4
 	}
-	mismatch := false
+	var mismatches []monitor.Mismatch
 	for op, n := range observed {
 		if !executed[op] {
 			continue
@@ -59,16 +69,22 @@ func (r *Reoptimizer) Checkpoint(observed map[*core.Operator]int64, executed map
 		if a == nil {
 			continue
 		}
-		if a.OutCard.MismatchFactor(n) >= threshold {
-			mismatch = true
-			break
+		if f := a.OutCard.MismatchFactor(n); f >= threshold {
+			mismatches = append(mismatches, monitor.Mismatch{Op: op, Estimate: a.OutCard, Observed: n, Factor: f})
 		}
 	}
-	if !mismatch {
+	if len(mismatches) == 0 {
 		return nil, nil
 	}
 	opts := r.Opts
 	opts.KnownCards = observed
+	if sp := trace.FromContext(ctx); sp != nil {
+		rsp := sp.Start(trace.KindReplan, "replan-"+strconv.Itoa(r.replans+1))
+		rsp.SetAttr("mismatch", renderMismatches(mismatches))
+		rsp.SetInt("mismatch_count", int64(len(mismatches)))
+		opts.Trace = rsp
+		defer rsp.End()
+	}
 	newEP, err := optimizer.Optimize(r.plan, opts)
 	if err != nil {
 		return nil, err
@@ -76,4 +92,21 @@ func (r *Reoptimizer) Checkpoint(observed map[*core.Operator]int64, executed map
 	r.current = newEP
 	r.replans++
 	return newEP, nil
+}
+
+// renderMismatches flattens the triggering mismatches into one span
+// attribute, worst first.
+func renderMismatches(ms []monitor.Mismatch) string {
+	sorted := append([]monitor.Mismatch(nil), ms...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Factor != sorted[j].Factor {
+			return sorted[i].Factor > sorted[j].Factor
+		}
+		return sorted[i].Op.String() < sorted[j].Op.String()
+	})
+	parts := make([]string, len(sorted))
+	for i, m := range sorted {
+		parts[i] = fmt.Sprintf("op=%s observed=%d est=%s factor=%.1f", m.Op, m.Observed, m.Estimate, m.Factor)
+	}
+	return strings.Join(parts, "; ")
 }

@@ -1,6 +1,8 @@
 package progressive
 
 import (
+	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"rheem/internal/platform/spark"
 	"rheem/internal/platform/streams"
 	"rheem/internal/storage/dfs"
+	"rheem/internal/trace"
 )
 
 func newReg(t *testing.T) *core.Registry {
@@ -125,7 +128,7 @@ func TestReoptimizerRespectsMaxReplans(t *testing.T) {
 	ep, _ := optimizer.Optimize(p, opts)
 	re := New(p, ep, opts)
 	re.MaxReplans = 0
-	newEP, err := re.Checkpoint(map[*core.Operator]int64{}, map[*core.Operator]bool{})
+	newEP, err := re.Checkpoint(context.Background(), map[*core.Operator]int64{}, map[*core.Operator]bool{})
 	if err != nil || newEP != nil {
 		t.Fatalf("MaxReplans=0 must disable replanning: %v, %v", newEP, err)
 	}
@@ -160,5 +163,53 @@ func TestMonitorHealthCheck(t *testing.T) {
 	}
 	if len(mon.Stages()) != 1 {
 		t.Fatal("stage not recorded")
+	}
+}
+
+// TestReplanSpanInTrace runs a replanned job under a tracer and asserts the
+// trace carries a replan span annotated with the triggering mismatches.
+func TestReplanSpanInTrace(t *testing.T) {
+	reg := newReg(t)
+	p, f := misleadingPlan(20000)
+	opts := optimizer.Options{Registry: reg}
+	ep, err := optimizer.Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := New(p, ep, opts)
+	ex := &executor.Executor{Registry: reg, Monitor: monitor.New(), Checkpoint: re.Checkpoint}
+
+	tr := trace.New(trace.KindJob, "job:misled")
+	ctx := trace.NewContext(context.Background(), tr.Root())
+	if _, err := ex.RunCtx(ctx, ep); err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+	if re.Replans() == 0 {
+		t.Fatal("plan did not replan; test premise broken")
+	}
+
+	sj := tr.Snapshot()
+	replans := sj.FindAll(trace.KindReplan)
+	if len(replans) != re.Replans() {
+		t.Fatalf("%d replan spans for %d replans", len(replans), re.Replans())
+	}
+	rsp := replans[0]
+	if rsp.Name != "replan-1" {
+		t.Fatalf("replan span name = %q", rsp.Name)
+	}
+	mismatch, ok := rsp.Attr("mismatch")
+	if !ok {
+		t.Fatalf("replan span lacks mismatch attr: %+v", rsp.Attrs)
+	}
+	if !strings.Contains(mismatch, f.String()) || !strings.Contains(mismatch, "observed=20000") {
+		t.Fatalf("mismatch attr %q does not name the misled operator", mismatch)
+	}
+	if n, _ := rsp.Attr("mismatch_count"); n == "" || n == "0" {
+		t.Fatalf("mismatch_count attr = %q", n)
+	}
+	// The replan nests an optimize span (the re-optimization itself).
+	if rsp.Find(trace.KindOptimize) == nil {
+		t.Fatal("replan span has no nested optimize span")
 	}
 }

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler is a background goroutine feeding Go runtime gauges —
+// rheem_go_goroutines, rheem_go_heap_alloc_bytes, rheem_go_gc_pause_seconds
+// — into a registry at a fixed cadence. Stop halts the goroutine and waits
+// for it to exit, so the server can drain cleanly.
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeSampler registers the runtime gauges on reg and starts
+// sampling every interval (default 10s when interval <= 0). One sample is
+// taken synchronously before returning so the gauges are never absent.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	reg.Help("rheem_go_goroutines", "Number of live goroutines.")
+	reg.Help("rheem_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.Help("rheem_go_gc_pause_seconds", "Cumulative GC stop-the-world pause time.")
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	sampleRuntime(reg)
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				sampleRuntime(reg)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and blocks until its goroutine has exited. It is
+// idempotent and safe on a nil sampler.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// sampleRuntime takes one reading of the runtime gauges.
+func sampleRuntime(reg *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("rheem_go_goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("rheem_go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("rheem_go_gc_pause_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	// The synchronous first sample makes the gauges immediately visible.
+	if reg.Gauge("rheem_go_goroutines").Value() <= 0 {
+		t.Fatal("goroutine gauge not sampled")
+	}
+	if reg.Gauge("rheem_go_heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap gauge not sampled")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("rheem_go_goroutines").Value() <= 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	out := reg.Expose()
+	for _, want := range []string{
+		"rheem_go_goroutines",
+		"rheem_go_heap_alloc_bytes",
+		"rheem_go_gc_pause_seconds",
+		"# HELP rheem_go_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop()
+}

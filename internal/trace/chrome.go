@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto. Ts and Dur are
+// microseconds; Tid is a synthetic lane chosen so that events on the same
+// lane always nest by time containment (concurrent siblings get their own
+// lanes).
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the tree as a trace_event array. Open spans are
+// extended to the export instant so in-flight traces stay loadable.
+func (t *Tracer) ChromeTrace() []ChromeEvent {
+	if t == nil {
+		return nil
+	}
+	return t.Snapshot().ChromeTrace()
+}
+
+// ChromeTrace renders a snapshot as a trace_event array.
+func (sj *SpanJSON) ChromeTrace() []ChromeEvent {
+	if sj == nil {
+		return nil
+	}
+	la := &laneAssigner{lanes: map[int][]interval{}}
+	var out []ChromeEvent
+	la.emit(sj, 0, &out)
+	return out
+}
+
+type interval struct{ ts, end int64 }
+
+// laneAssigner places spans on synthetic tids: a span takes its parent's
+// lane when every event already on that lane either contains it or is
+// disjoint from it; otherwise (a concurrent sibling occupies the lane) it
+// opens a fresh lane. This keeps Chrome's stack-based rendering faithful
+// to the span tree even for parallel stage waves.
+type laneAssigner struct {
+	lanes    map[int][]interval
+	nextLane int
+}
+
+func (la *laneAssigner) emit(sj *SpanJSON, parentLane int, out *[]ChromeEvent) {
+	ts := sj.Start.UnixMicro()
+	dur := int64(sj.DurationMs * 1000)
+	if dur < 1 {
+		dur = 1 // zero-length events render invisibly; give them a tick
+	}
+	lane := parentLane
+	if parentLane == 0 || !la.fits(parentLane, ts, ts+dur) {
+		la.nextLane++
+		lane = la.nextLane
+	}
+	la.lanes[lane] = append(la.lanes[lane], interval{ts: ts, end: ts + dur})
+	ev := ChromeEvent{Name: sj.Name, Cat: sj.Kind, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: lane}
+	if len(sj.Attrs) > 0 {
+		ev.Args = make(map[string]string, len(sj.Attrs))
+		for _, a := range sj.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	*out = append(*out, ev)
+	// Children in start order keeps sibling lane reuse deterministic.
+	children := append([]*SpanJSON(nil), sj.Children...)
+	sort.SliceStable(children, func(i, j int) bool { return children[i].Start.Before(children[j].Start) })
+	for _, c := range children {
+		la.emit(c, lane, out)
+	}
+}
+
+// fits reports whether [ts,end) can join the lane: every resident interval
+// must contain it or be disjoint from it.
+func (la *laneAssigner) fits(lane int, ts, end int64) bool {
+	for _, iv := range la.lanes[lane] {
+		contains := iv.ts <= ts && end <= iv.end
+		disjoint := end <= iv.ts || iv.end <= ts
+		if !contains && !disjoint {
+			return false
+		}
+	}
+	return true
+}
+
+// WallClock reports the span's [start, end) in wall-clock time, using the
+// recorded duration.
+func (sj *SpanJSON) WallClock() (time.Time, time.Time) {
+	return sj.Start, sj.Start.Add(time.Duration(sj.DurationMs * float64(time.Millisecond)))
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a bounded LRU map from job id to tracer: the server keeps the
+// most recently touched traces and evicts the oldest beyond the capacity,
+// so traces can never grow server memory unboundedly. Get refreshes
+// recency so actively inspected traces stay resident.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	byID  map[string]*list.Element // value: *storeEntry
+}
+
+type storeEntry struct {
+	id     string
+	tracer *Tracer
+}
+
+// NewStore creates a store retaining up to capacity traces (default 256
+// when capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Store{cap: capacity, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// Put inserts (or refreshes) a trace, evicting the least recently used
+// entries beyond the capacity.
+func (s *Store) Put(id string, t *Tracer) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		el.Value.(*storeEntry).tracer = t
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byID[id] = s.order.PushFront(&storeEntry{id: id, tracer: t})
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byID, oldest.Value.(*storeEntry).id)
+	}
+}
+
+// Get returns the trace for a job id, refreshing its recency.
+func (s *Store) Get(id string) (*Tracer, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).tracer, true
+}
+
+// Len reports the number of resident traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

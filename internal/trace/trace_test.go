@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rheem/internal/telemetry"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New(KindJob, "job-1")
+	opt := tr.Root().Start(KindOptimize, "optimize")
+	opt.SetFloat("cost_low_ms", 1.5)
+	opt.End()
+	wave := tr.Root().Start(KindWave, "wave-0")
+	st := wave.Start(KindStage, "Stage1@streams")
+	st.SetAttr("platform", "streams")
+	st.End()
+	wave.End()
+	tr.Root().End()
+
+	snap := tr.Snapshot()
+	if snap.Kind != KindJob || len(snap.Children) != 2 {
+		t.Fatalf("root = %+v", snap)
+	}
+	if snap.Unfinished {
+		t.Fatal("ended root flagged unfinished")
+	}
+	stage := snap.Find(KindStage)
+	if stage == nil {
+		t.Fatal("no stage span")
+	}
+	if v, ok := stage.Attr("platform"); !ok || v != "streams" {
+		t.Fatalf("stage attrs = %v", stage.Attrs)
+	}
+	if got := snap.Find(KindOptimize); got == nil {
+		t.Fatal("no optimize span")
+	}
+	if cost, ok := snap.Find(KindOptimize).Attr("cost_low_ms"); !ok || cost != "1.5" {
+		t.Fatalf("optimize cost attr = %q", cost)
+	}
+}
+
+func TestSnapshotOfOpenSpanIsUnfinished(t *testing.T) {
+	tr := New(KindJob, "job-open")
+	tr.Root().Start(KindWave, "wave-0") // never ended
+	snap := tr.Snapshot()
+	if !snap.Unfinished || !snap.Children[0].Unfinished {
+		t.Fatalf("open spans not flagged: %+v", snap)
+	}
+	if snap.Children[0].DurationMs < 0 {
+		t.Fatalf("negative duration: %v", snap.Children[0].DurationMs)
+	}
+}
+
+// TestConcurrentSpanEmission drives many goroutines into one tracer — the
+// shape the executor produces when a wave dispatches parallel stages —
+// and is meaningful under -race (verify.sh runs the suite race-enabled).
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := New(KindJob, "job-racy")
+	tr.Metrics = telemetry.NewRegistry()
+	const goroutines, spansEach = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wave := tr.Root().Start(KindWave, fmt.Sprintf("wave-%d", g))
+			for i := 0; i < spansEach; i++ {
+				st := wave.Start(KindStage, "stage")
+				st.SetInt("i", int64(i))
+				op := st.AddTimed(KindOperator, "op", time.Now(), time.Now())
+				op.SetAttr("platform", "streams")
+				st.End()
+			}
+			wave.End()
+		}(g)
+	}
+	// Concurrent readers must also be safe: snapshots race with emission.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = tr.Snapshot()
+				_ = tr.ChromeTrace()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Root().End()
+
+	snap := tr.Snapshot()
+	if got := len(snap.FindAll(KindStage)); got != goroutines*spansEach {
+		t.Fatalf("stage spans = %d, want %d", got, goroutines*spansEach)
+	}
+	if got := len(snap.FindAll(KindOperator)); got != goroutines*spansEach {
+		t.Fatalf("operator spans = %d, want %d", got, goroutines*spansEach)
+	}
+}
+
+// TestDisabledTracingAllocatesNothing proves the no-op path is free: the
+// exact call sequence the executor runs per stage — context lookup, child
+// start, attribute sets, end — must not allocate when no span is present.
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		disabledHotPath(ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v times per op", allocs)
+	}
+}
+
+// disabledHotPath mirrors the executor's per-stage emission sequence.
+func disabledHotPath(ctx context.Context) {
+	parent := FromContext(ctx)
+	wave := parent.Start(KindWave, "wave-0")
+	wave.SetInt("stages", 1)
+	st := wave.Start(KindStage, "stage")
+	st.SetAttr("platform", "streams")
+	st.SetFloat("runtime_ms", 1.0)
+	op := st.AddTimed(KindOperator, "op", time.Time{}, time.Time{})
+	op.SetInt("out_card", 42)
+	st.End()
+	wave.End()
+}
+
+// BenchmarkDisabledExecutorHotPath demonstrates the bounded-overhead
+// acceptance criterion: run with -benchmem and observe 0 B/op, 0 allocs/op.
+func BenchmarkDisabledExecutorHotPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledHotPath(ctx)
+	}
+}
+
+func BenchmarkEnabledSpanEmission(b *testing.B) {
+	tr := New(KindJob, "bench")
+	ctx := NewContext(context.Background(), tr.Root())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledHotPath(ctx) // same sequence, now live
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a span")
+	}
+	if ctx := NewContext(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatal("nil span stored in context")
+	}
+	tr := New(KindJob, "j")
+	ctx := NewContext(context.Background(), tr.Root())
+	if FromContext(ctx) != tr.Root() {
+		t.Fatal("span did not round-trip through context")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Root() != nil || tr.Snapshot() != nil || tr.ChromeTrace() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetInt("k", 1)
+	s.SetFloat("k", 1.0)
+	s.End()
+	if s.Start("x", "y") != nil || s.AddTimed("x", "y", time.Now(), time.Now()) != nil {
+		t.Fatal("nil span spawned children")
+	}
+}
+
+func TestChromeTraceNesting(t *testing.T) {
+	tr := New(KindJob, "job-c")
+	wave := tr.Root().Start(KindWave, "wave-0")
+	// Two deliberately overlapping sibling stages (parallel dispatch).
+	s1 := wave.Start(KindStage, "stage-a")
+	s2 := wave.Start(KindStage, "stage-b")
+	time.Sleep(2 * time.Millisecond)
+	s1.AddTimed(KindOperator, "op-a", time.Now().Add(-time.Millisecond), time.Now())
+	s1.End()
+	s2.End()
+	wave.End()
+	tr.Root().End()
+
+	events := tr.ChromeTrace()
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	byName := map[string]ChromeEvent{}
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		byName[ev.Name] = ev
+	}
+	contains := func(outer, inner ChromeEvent) bool {
+		return outer.Ts <= inner.Ts && inner.Ts+inner.Dur <= outer.Ts+outer.Dur
+	}
+	for _, name := range []string{"stage-a", "stage-b"} {
+		if !contains(byName["wave-0"], byName[name]) {
+			t.Fatalf("%s not inside wave: %+v vs %+v", name, byName[name], byName["wave-0"])
+		}
+	}
+	if !contains(byName["stage-a"], byName["op-a"]) {
+		t.Fatal("operator not inside its stage")
+	}
+	// Overlapping siblings must not share a lane; nested spans should.
+	if byName["stage-a"].Tid == byName["stage-b"].Tid {
+		t.Fatal("overlapping siblings share a tid")
+	}
+	if byName["op-a"].Tid != byName["stage-a"].Tid {
+		t.Fatal("contained operator moved off its stage's tid")
+	}
+}
+
+func TestSpanDurationHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(KindJob, "job-m")
+	tr.Metrics = reg
+	tr.Root().Start(KindStage, "s").End()
+	tr.Root().End()
+	h := reg.Histogram("rheem_span_duration_seconds", nil, telemetry.L("kind", KindStage))
+	if h.Count() != 1 {
+		t.Fatalf("stage observations = %d", h.Count())
+	}
+	if reg.Histogram("rheem_span_duration_seconds", nil, telemetry.L("kind", KindJob)).Count() != 1 {
+		t.Fatal("job span not observed")
+	}
+}
+
+func TestStoreLRU(t *testing.T) {
+	s := NewStore(2)
+	t1, t2, t3 := New(KindJob, "1"), New(KindJob, "2"), New(KindJob, "3")
+	s.Put("j1", t1)
+	s.Put("j2", t2)
+	// Touch j1 so j2 becomes the eviction candidate.
+	if got, ok := s.Get("j1"); !ok || got != t1 {
+		t.Fatal("j1 missing")
+	}
+	s.Put("j3", t3)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.Get("j2"); ok {
+		t.Fatal("LRU did not evict the least recently used trace")
+	}
+	if _, ok := s.Get("j1"); !ok {
+		t.Fatal("recently used trace evicted")
+	}
+	if _, ok := s.Get("j3"); !ok {
+		t.Fatal("fresh trace evicted")
+	}
+	// Re-putting an existing id refreshes rather than duplicates.
+	s.Put("j3", t3)
+	if s.Len() != 2 {
+		t.Fatalf("len after re-put = %d", s.Len())
+	}
+}

@@ -1,0 +1,164 @@
+// Package xlog is a tiny leveled key=value logger for the service layer:
+// logfmt-style lines (ts=... level=... msg=... k=v ...) with bound fields,
+// so the jobs manager and the REST server can thread job-id/stage context
+// through every line without a logging dependency. All methods are safe on
+// a nil *Logger (logging disabled), and a Logger is safe for concurrent
+// use; loggers derived with With share the parent's writer lock.
+package xlog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel reads a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("xlog: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Logger writes logfmt lines at or above its level.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	fields string // pre-rendered " k=v k=v" suffix bound by With
+	clock  func() time.Time
+}
+
+// New creates a logger writing to w at the given minimum level.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, clock: time.Now}
+}
+
+// With returns a logger whose every line carries the given key/value
+// pairs (e.g. job id), sharing the parent's writer and lock.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	var b strings.Builder
+	b.WriteString(l.fields)
+	appendKVs(&b, kv)
+	child.fields = b.String()
+	return &child
+}
+
+// Enabled reports whether a record at the given level would be written.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.clock().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.fields)
+	appendKVs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// appendKVs renders alternating key/value pairs; a trailing odd value is
+// logged under the key "extra" rather than dropped.
+func appendKVs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if i+1 >= len(kv) {
+			b.WriteString("extra=")
+			b.WriteString(quote(fmt.Sprint(kv[i])))
+			return
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quote(render(kv[i+1])))
+	}
+}
+
+func render(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quote wraps values containing spaces, quotes, or equals signs so lines
+// stay machine-parseable.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

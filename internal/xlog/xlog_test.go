@@ -1,0 +1,121 @@
+package xlog
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixed(l *Logger) *Logger {
+	l.clock = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLineFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelInfo))
+	l.Info("job finished", "job", "j1-abc", "state", "succeeded", "attempts", 2)
+	got := b.String()
+	want := `ts=2026-08-05T12:00:00Z level=info msg="job finished" job=j1-abc state=succeeded attempts=2` + "\n"
+	if got != want {
+		t.Fatalf("line = %q\nwant  %q", got, want)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := b.String()
+	if strings.Contains(out, "nope") || !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("filtered output:\n%s", out)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with filtering")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelDebug)).With("job", "j9")
+	l.Debug("started", "stage", "Stage1@spark")
+	if !strings.Contains(b.String(), " job=j9 stage=Stage1@spark") {
+		t.Fatalf("bound fields missing: %q", b.String())
+	}
+}
+
+func TestQuotingAndValueRendering(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, LevelDebug))
+	l.Info("x", "err", errors.New(`boom with spaces and "quotes"`), "empty", "", "odd")
+	out := b.String()
+	for _, want := range []string{`err="boom with spaces and \"quotes\""`, `empty=""`, `extra=odd`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestNilLoggerIsInert(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b")
+	l.Warn("c")
+	l.Error("d", "k", "v")
+	if l.With("k", "v") != nil {
+		t.Fatal("nil With returned a logger")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := New(w, LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.With("g", i).Info("tick", "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -11,6 +11,7 @@
 //	POST   /v1/jobs            {"script": "..."}  -> 202 {"id": "...", "state": "queued"}
 //	GET    /v1/jobs/{id}                          -> status + timestamps (+ monitor snapshot when finished)
 //	GET    /v1/jobs/{id}/result [?sink=name]      -> the run payload of a succeeded job
+//	GET    /v1/jobs/{id}/trace  [?format=chrome]  -> the job's span tree (native or Chrome trace_event JSON)
 //	DELETE /v1/jobs/{id}                          -> cancel a queued or running job
 //	GET    /v1/metrics                            -> Prometheus text exposition
 //	GET    /v1/platforms                          -> {"platforms": [...]}
@@ -30,6 +31,8 @@ import (
 	"rheem/internal/core"
 	"rheem/internal/jobs"
 	"rheem/internal/monitor"
+	"rheem/internal/trace"
+	"rheem/internal/xlog"
 	"rheem/latin"
 )
 
@@ -43,6 +46,11 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxResultQuanta truncates sink payloads in responses (default 10000).
 	MaxResultQuanta int
+	// TraceCapacity bounds the per-job trace store (LRU, default 256).
+	TraceCapacity int
+	// Log receives server and job lifecycle events; nil disables logging.
+	// Jobs.Log defaults to it.
+	Log *xlog.Logger
 }
 
 // Server wires a Context, a UDF registry, and a job manager into an
@@ -51,6 +59,10 @@ type Server struct {
 	Ctx  *rheem.Context
 	UDFs *latin.Registry
 	Jobs *jobs.Manager
+	// Traces retains each submitted job's span tree (bounded LRU).
+	Traces *trace.Store
+	// Log receives request/lifecycle events; nil disables logging.
+	Log *xlog.Logger
 	// MaxResultQuanta truncates sink payloads in responses (default 10000).
 	MaxResultQuanta int
 	// MaxBodyBytes caps request bodies; <= 0 falls back to 1 MiB.
@@ -70,6 +82,9 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 	if opts.Jobs.Metrics == nil {
 		opts.Jobs.Metrics = ctx.Metrics
 	}
+	if opts.Jobs.Log == nil {
+		opts.Jobs.Log = opts.Log.With("component", "jobs")
+	}
 	if opts.MaxResultQuanta <= 0 {
 		opts.MaxResultQuanta = 10000
 	}
@@ -80,6 +95,8 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 		Ctx:             ctx,
 		UDFs:            udfs,
 		Jobs:            jobs.New(opts.Jobs),
+		Traces:          trace.NewStore(opts.TraceCapacity),
+		Log:             opts.Log,
 		MaxResultQuanta: opts.MaxResultQuanta,
 		MaxBodyBytes:    opts.MaxBodyBytes,
 	}
@@ -89,6 +106,7 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
@@ -227,6 +245,20 @@ func (s *Server) renderRun(res *rheem.Result, compiled *latin.Compiled) (RunResp
 	return resp, nil
 }
 
+// submit enqueues a traced job and retains its span tree for the trace
+// endpoint. The tracer is created before submission so the queue-wait span
+// covers the whole admission; evicted traces simply 404.
+func (s *Server) submit(compiled *latin.Compiled) (string, error) {
+	tr := trace.New(trace.KindJob, "job:"+compiled.Plan.Name)
+	tr.Metrics = s.Ctx.Metrics
+	id, err := s.Jobs.Submit(s.runner(compiled), jobs.WithTracer(tr))
+	if err != nil {
+		return "", err
+	}
+	s.Traces.Put(id, tr)
+	return id, nil
+}
+
 // handleRun is the synchronous convenience: it submits through the same
 // job manager (sharing admission control and telemetry) and waits inline.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +266,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	id, err := s.Jobs.Submit(s.runner(compiled))
+	id, err := s.submit(compiled)
 	if err != nil {
 		httpError(w, admissionStatus(err), "submit: %v", err)
 		return
@@ -266,7 +298,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	id, err := s.Jobs.Submit(s.runner(compiled))
+	id, err := s.submit(compiled)
 	if err != nil {
 		httpError(w, admissionStatus(err), "submit: %v", err)
 		return
@@ -355,6 +387,27 @@ func sinkNames(sinks map[string][]json.RawMessage) []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// handleJobTrace serves a job's span tree: the native nested-span JSON by
+// default, or the Chrome trace_event format (loadable in chrome://tracing
+// and Perfetto) with ?format=chrome. Works for in-flight jobs too — open
+// spans are reported as unfinished with their duration so far.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.Traces.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace for job %s (unknown or evicted)", id)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "native":
+		writeJSON(w, tr.Snapshot())
+	case "chrome":
+		writeJSON(w, tr.ChromeTrace())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown trace format %q (want native or chrome)", format)
+	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,12 @@
 #!/bin/sh
-# Repo verification gate: vet, build, and the race-enabled test suite.
+# Repo verification gate: formatting, vet, build, and the race-enabled
+# test suite.
 set -ex
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" "$unformatted" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
