@@ -10,12 +10,16 @@ package rheem_test
 // laptop-scale default the EXPERIMENTS.md numbers were recorded at.
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
 
+	"rheem"
+	"rheem/internal/core"
 	"rheem/internal/experiments"
+	"rheem/internal/rescache"
 )
 
 func benchScale() float64 {
@@ -134,3 +138,85 @@ func Benchmark_AblationMovement(b *testing.B) { runExperiment(b, experiments.Abl
 
 // Benchmark_AblationLearnedCosts: learned vs default cost model choices.
 func Benchmark_AblationLearnedCosts(b *testing.B) { runExperiment(b, experiments.AblationLearnedCosts) }
+
+// Package-level UDFs so rebuilt plans fingerprint identically (the result
+// cache keys on UDF symbol identity).
+func benchSplit(q any) []any {
+	fields := strings.Fields(q.(string))
+	out := make([]any, len(fields))
+	for i, w := range fields {
+		out[i] = core.KV{Key: w, Value: int64(1)}
+	}
+	return out
+}
+
+func benchWordOf(q any) any { return q.(core.KV).Key }
+
+func benchSumCounts(a, b any) any {
+	ka, kb := a.(core.KV), b.(core.KV)
+	return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
+}
+
+// benchWordCountPlan builds a fresh WordCount plan, the way each incoming
+// server job would: new operator instances, identical fingerprints.
+func benchWordCountPlan(ctx *rheem.Context) *core.Plan {
+	b := ctx.NewPlan("bench-wc")
+	b.ReadTextFile("dfs://bench-words.txt").
+		FlatMap("split", benchSplit).
+		ReduceBy("count", benchWordOf, benchSumCounts).
+		CollectSink()
+	return b.Plan()
+}
+
+func benchCacheCtx(b *testing.B, cache *rescache.Cache) *rheem.Context {
+	b.Helper()
+	ctx, err := rheem.NewContext(rheem.Config{FastSimulation: true, ResultCache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := make([]string, 400)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("alpha beta gamma delta word%d", i%37)
+	}
+	if err := ctx.DFS.WriteLines("bench-words.txt", lines); err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+// BenchmarkWordCountCacheHit anchors the result cache's win: the same
+// WordCount job submitted repeatedly. The first (untimed) run populates the
+// cache; every timed run must substitute a cache scan for the text-file
+// scan, flatmap, and reduce stages.
+func BenchmarkWordCountCacheHit(b *testing.B) {
+	cache := rescache.New(rescache.Options{MaxBytes: 64 << 20})
+	ctx := benchCacheCtx(b, cache)
+	if _, err := ctx.Execute(benchWordCountPlan(ctx)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Execute(benchWordCountPlan(ctx)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(false); st.Hits < int64(b.N) {
+		b.Fatalf("cache hits = %d over %d runs: warm runs re-executed the pipeline", st.Hits, b.N)
+	}
+}
+
+// BenchmarkWordCountCacheMiss is the control: caching disabled, every run
+// re-reads and re-aggregates. Compare against BenchmarkWordCountCacheHit.
+func BenchmarkWordCountCacheMiss(b *testing.B) {
+	ctx := benchCacheCtx(b, nil)
+	if _, err := ctx.Execute(benchWordCountPlan(ctx)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Execute(benchWordCountPlan(ctx)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,16 +7,32 @@
 //	rheem-bench                 # run everything (several minutes)
 //	rheem-bench -experiment fig2a,fig9b
 //	rheem-bench -scale 0.25     # shrink inputs for a quick pass
+//	rheem-bench -json out.json  # also emit machine-readable rows
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"rheem/internal/experiments"
 )
+
+// jsonRow is the machine-readable form of one measurement, written by -json.
+// Keeping a flat schema (one object per row) makes the output trivially
+// diffable against a recorded baseline such as BENCH_seed.json.
+type jsonRow struct {
+	Experiment string `json:"experiment"`
+	Config     string `json:"config"`
+	System     string `json:"system"`
+	// RuntimeMs is null for rows with no runtime (qualitative rows such as
+	// the learned-cost choice comparison, which the text table renders as X).
+	RuntimeMs *float64 `json:"runtime_ms"`
+	Note      string   `json:"note,omitempty"`
+}
 
 type experiment struct {
 	name string
@@ -49,6 +65,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	scale := flag.Float64("scale", 1, "input size multiplier")
 	seed := flag.Int64("seed", 0, "data generation seed (0 = default)")
+	jsonOut := flag.String("json", "", "also write results as a JSON array to this file")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +92,7 @@ func main() {
 		}
 		fmt.Println(t1)
 	}
+	var collected []jsonRow
 	for _, e := range all {
 		if !want(e.name) {
 			continue
@@ -85,6 +103,24 @@ func main() {
 			fatal(e.name, err)
 		}
 		fmt.Println(experiments.RenderTable(rows))
+		for _, r := range rows {
+			row := jsonRow{Experiment: e.name, Config: r.Config, System: r.System, Note: r.Note}
+			if !math.IsNaN(r.Ms) && !math.IsInf(r.Ms, 0) && r.Ms >= 0 {
+				ms := r.Ms
+				row.RuntimeMs = &ms
+			}
+			collected = append(collected, row)
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fatal("json", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal("json", err)
+		}
+		fmt.Fprintf(os.Stderr, "rheem-bench: wrote %d rows to %s\n", len(collected), *jsonOut)
 	}
 }
 

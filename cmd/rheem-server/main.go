@@ -27,6 +27,7 @@ import (
 	"rheem"
 	"rheem/internal/core"
 	"rheem/internal/jobs"
+	"rheem/internal/rescache"
 	"rheem/internal/telemetry"
 	"rheem/internal/xlog"
 	"rheem/latin"
@@ -48,6 +49,8 @@ func run() int {
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	traceCap := flag.Int("trace-capacity", 256, "per-job execution traces retained (LRU)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache capacity in estimated bytes; 0 disables cross-job result caching")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Minute, "result-cache entry lifetime; 0 keeps entries until evicted")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -59,10 +62,21 @@ func run() int {
 	}
 	logger := xlog.New(os.Stderr, level).With("component", "server")
 
+	metrics := telemetry.NewRegistry()
+	var cache *rescache.Cache
+	if *cacheBytes > 0 {
+		cache = rescache.New(rescache.Options{
+			MaxBytes: *cacheBytes,
+			TTL:      *cacheTTL,
+			Metrics:  metrics,
+		})
+	}
 	ctx, err := rheem.NewContext(rheem.Config{
 		FastSimulation: *fast,
 		CostTablePath:  *costs,
 		DFSDir:         *dfsDir,
+		Metrics:        metrics,
+		ResultCache:    cache,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)
@@ -110,7 +124,8 @@ func run() int {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr,
 		"platforms", fmt.Sprintf("%v", ctx.Registry.Mappings.Platforms()),
-		"workers", *workers, "queue", *queue, "level", level)
+		"workers", *workers, "queue", *queue, "level", level,
+		"cache_bytes", *cacheBytes, "cache_ttl", *cacheTTL)
 
 	select {
 	case err := <-errCh:

@@ -33,6 +33,7 @@ import (
 	"rheem/internal/platform/spark"
 	"rheem/internal/platform/streams"
 	"rheem/internal/progressive"
+	"rheem/internal/rescache"
 	"rheem/internal/storage/dfs"
 	"rheem/internal/telemetry"
 	"rheem/internal/trace"
@@ -54,6 +55,11 @@ type Config struct {
 	// registry (exposed as Context.Metrics).
 	Metrics *telemetry.Registry
 
+	// ResultCache, when set, enables the cross-job intermediate-result
+	// cache: executions probe it for previously computed subplan results
+	// and publish cache-worthy stage outputs into it. Nil disables caching.
+	ResultCache *rescache.Cache
+
 	// Engine overrides; zero values use each engine's defaults.
 	SparkConfig    spark.Config
 	FlinkConfig    flink.Config
@@ -74,6 +80,8 @@ type Context struct {
 	Costs    *optimizer.CostTable
 	// Metrics is the telemetry registry every execution records into.
 	Metrics *telemetry.Registry
+	// Cache is the cross-job result cache (nil when disabled).
+	Cache *rescache.Cache
 
 	relStores map[string]*relstore.Store
 	relDriver *relstore.Driver
@@ -116,6 +124,7 @@ func NewContext(cfg Config) (*Context, error) {
 		Registry:  core.NewRegistry(),
 		DFS:       store,
 		Metrics:   metrics,
+		Cache:     cfg.ResultCache,
 		relStores: map[string]*relstore.Store{},
 	}
 	enabled := map[string]bool{}
@@ -209,6 +218,7 @@ type execConfig struct {
 	mismatchFactor float64
 	exhaustive     bool
 	monetary       bool
+	resultCache    bool
 	sniffers       map[*core.Operator]func(any)
 	collectLogs    *[]StageLog
 }
@@ -216,6 +226,14 @@ type execConfig struct {
 // WithProgressive enables (default) or disables progressive re-optimization.
 func WithProgressive(enabled bool) ExecOption {
 	return func(ec *execConfig) { ec.progressive = enabled }
+}
+
+// WithResultCache enables (default) or disables the cross-job result cache
+// for one execution. It has no effect on contexts without a configured
+// cache. Disabling skips both probing (the plan always executes from its
+// sources) and population.
+func WithResultCache(enabled bool) ExecOption {
+	return func(ec *execConfig) { ec.resultCache = enabled }
 }
 
 // WithMismatchFactor sets the re-optimization trigger threshold.
@@ -284,7 +302,7 @@ func (c *Context) Optimize(p *core.Plan, options ...ExecOption) (*core.ExecPlan,
 }
 
 func newExecConfig(options []ExecOption) *execConfig {
-	ec := &execConfig{progressive: true, mismatchFactor: 4}
+	ec := &execConfig{progressive: true, mismatchFactor: 4, resultCache: true}
 	for _, o := range options {
 		o(ec)
 	}
@@ -322,9 +340,21 @@ func (c *Context) ExecuteCtx(ctx context.Context, p *core.Plan, options ...ExecO
 	// and, via progressive's Checkpoint, every replan — lands in the job's
 	// span tree.
 	opts.Trace = trace.FromContext(ctx)
+	// The cache session probes (and on hits rewrites) the plan before
+	// enumeration; its sink-level single-flight may block here until an
+	// identical in-flight job publishes its result. Close on every path
+	// releases the session's claims so followers never wedge.
+	var sess *rescache.Session
+	if ec.resultCache {
+		sess = c.Cache.Begin(ctx, p)
+		defer sess.Close()
+	}
 	ep, err := optimizer.Optimize(p, opts)
 	if err != nil {
 		return nil, err
+	}
+	if sess != nil {
+		optimizer.MarkCacheOuts(ep, sess.Fingerprints(), c.Cache.MinCostMs())
 	}
 	return c.execute(ctx, p, ep, opts, ec)
 }
@@ -339,6 +369,9 @@ func (c *Context) ExecutePlanned(p *core.Plan, ep *core.ExecPlan, options ...Exe
 func (c *Context) execute(ctx context.Context, p *core.Plan, ep *core.ExecPlan, opts optimizer.Options, ec *execConfig) (*Result, error) {
 	mon := monitor.New()
 	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers, Metrics: c.Metrics}
+	if ec.resultCache && c.Cache != nil {
+		ex.Cache = c.Cache
+	}
 	var re *progressive.Reoptimizer
 	if ec.progressive {
 		re = progressive.New(p, ep, opts)

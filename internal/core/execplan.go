@@ -92,6 +92,21 @@ type ExecPlan struct {
 	// LoopBodies holds the (pre-)optimized execution plans of loop bodies,
 	// keyed by the loop operator.
 	LoopBodies map[*Operator]*ExecPlan
+
+	// CacheOuts marks operators whose materialized output the executor
+	// should publish to the cross-job result cache after the producing stage
+	// completes. Populated by the optimizer's cache-marking pass.
+	CacheOuts map[*Operator]*CacheOut
+}
+
+// CacheOut describes one cache-worthy operator output: the subtree
+// fingerprint to store it under, the estimated compute cost the cache entry
+// saves on a future hit, and the source datasets whose invalidation must
+// drop it.
+type CacheOut struct {
+	Fingerprint string
+	CostMs      float64
+	Sources     []SourceRef
 }
 
 // PlatformOf returns the platform an operator was assigned to, resolving

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+)
+
+// Plan fingerprinting: a canonical, structure-stable hash of an operator
+// subtree, so equivalent subplans collide across jobs (and across process
+// restarts). Two operators have the same fingerprint exactly when their
+// subtrees are structurally identical: same operator kinds, labels, scalar
+// parameters, UDF identities, and source datasets (name + version) wired in
+// the same shape. The cross-job result cache (internal/rescache) keys on
+// these fingerprints.
+//
+// Canonicalization rules (also documented in DESIGN.md):
+//   - The hash of an operator covers its kind, label, every kind-relevant
+//     scalar parameter, the identity of each attached UDF, and the
+//     fingerprints of its dataflow inputs in port order plus its broadcast
+//     inputs in sorted order.
+//   - UDF identity is the function's symbol name (runtime.FuncForPC), which
+//     is stable across restarts of the same binary. Closures share a symbol
+//     per code site, so the operator label participates in the hash to keep
+//     differently-registered UDFs apart.
+//   - Named sources (files, tables) hash their dataset name plus a version
+//     supplied by the SourceVersion hook; bumping the version (explicit
+//     invalidation) changes every fingerprint downstream of the dataset.
+//   - Collection sources hash their full content via the quantum codec, so
+//     identical literal inputs collide and different ones do not.
+//   - Subtrees containing loops, loop placeholders (LoopInput/OuterRef), or
+//     values the codec cannot encode are not fingerprintable: they are
+//     omitted from the result, as is everything downstream of them.
+
+// SourceRef names one source dataset a fingerprinted subtree reads, with
+// the dataset version the fingerprint was computed at.
+type SourceRef struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+}
+
+// FPInfo is the fingerprint of one operator's subtree.
+type FPInfo struct {
+	// Hash is the canonical subtree hash, hex-encoded.
+	Hash string
+	// Sources lists the named source datasets the subtree reads (deduped,
+	// sorted by name). Collection sources are content-hashed, not listed.
+	Sources []SourceRef
+	// Ops is the subtree's operators (the op itself plus everything it
+	// transitively reads), in no particular order. Cost marking sums the
+	// per-operator estimates over it.
+	Ops []*Operator
+}
+
+// FingerprintOptions tune a FingerprintPlan pass.
+type FingerprintOptions struct {
+	// SourceVersion returns the current version of a named source dataset;
+	// nil pins every version to 0.
+	SourceVersion func(name string) uint64
+	// Skip marks operators as unfingerprintable (e.g. cache-scan sources
+	// substituted by a previous rewrite, which must not be re-cached under a
+	// new identity). Everything downstream of a skipped operator is omitted.
+	Skip map[*Operator]bool
+}
+
+// FingerprintPlan computes the subtree fingerprint of every fingerprintable
+// operator in the plan. Operators whose subtree contains a loop, a loop
+// placeholder, a skipped operator, or un-encodable collection data are
+// absent from the result.
+func FingerprintPlan(p *Plan, opts FingerprintOptions) map[*Operator]*FPInfo {
+	order, err := p.TopoOrder()
+	if err != nil {
+		return nil
+	}
+	out := make(map[*Operator]*FPInfo, len(order))
+	for _, op := range order {
+		if opts.Skip[op] || !fingerprintableKind(op, p) {
+			continue
+		}
+		// All inputs (dataflow and broadcast) must themselves be
+		// fingerprintable.
+		ins := make([]*FPInfo, 0, len(op.Inputs()))
+		ok := true
+		for _, in := range op.Inputs() {
+			info := out[in]
+			if info == nil {
+				ok = false
+				break
+			}
+			ins = append(ins, info)
+		}
+		var bcs []*FPInfo
+		if ok {
+			for _, bc := range op.Broadcasts() {
+				info := out[bc]
+				if info == nil {
+					ok = false
+					break
+				}
+				bcs = append(bcs, info)
+			}
+		}
+		if !ok {
+			continue
+		}
+		info, err := fingerprintOp(op, ins, bcs, opts)
+		if err != nil {
+			continue
+		}
+		out[op] = info
+	}
+	return out
+}
+
+// fingerprintableKind rejects operators whose output is not a pure function
+// of their fingerprinted inputs: loops (nested bodies with conditions),
+// loop placeholders, and outer references.
+func fingerprintableKind(op *Operator, p *Plan) bool {
+	if op.Kind.IsLoop() || op.OuterRef != nil {
+		return false
+	}
+	if op == p.LoopInput {
+		return false
+	}
+	// A CollectionSource with nil payload is a placeholder (loop input or
+	// outer reference), never a literal empty collection with semantics.
+	if op.Kind == KindCollectionSource && op.Params.Collection == nil {
+		return false
+	}
+	return true
+}
+
+// fingerprintOp hashes one operator given its input fingerprints.
+func fingerprintOp(op *Operator, ins, bcs []*FPInfo, opts FingerprintOptions) (*FPInfo, error) {
+	h := sha256.New()
+	w := func(parts ...string) {
+		for _, s := range parts {
+			var lb [8]byte
+			binary.LittleEndian.PutUint64(lb[:], uint64(len(s)))
+			h.Write(lb[:])
+			h.Write([]byte(s))
+		}
+	}
+	w("op", string(op.Kind), op.Label, op.TargetPlatform)
+	w(fmt.Sprintf("sel=%g", op.Selectivity))
+	if err := hashParams(w, op); err != nil {
+		return nil, err
+	}
+	w(udfIdentity(op.UDF))
+
+	info := &FPInfo{Ops: []*Operator{op}}
+	seenOps := map[*Operator]bool{op: true}
+	seenSrc := map[string]uint64{}
+	merge := func(in *FPInfo) {
+		for _, o := range in.Ops {
+			if !seenOps[o] {
+				seenOps[o] = true
+				info.Ops = append(info.Ops, o)
+			}
+		}
+		for _, s := range in.Sources {
+			seenSrc[s.Name] = s.Version
+		}
+	}
+	for i, in := range ins {
+		w(fmt.Sprintf("in%d", i), in.Hash)
+		merge(in)
+	}
+	// Broadcast order is not semantically meaningful; sort for stability.
+	bcHashes := make([]string, len(bcs))
+	for i, bc := range bcs {
+		bcHashes[i] = bc.Hash
+		merge(bc)
+	}
+	sort.Strings(bcHashes)
+	for _, bh := range bcHashes {
+		w("bc", bh)
+	}
+
+	// Named source datasets: name + version.
+	if name := sourceDataset(op); name != "" {
+		var version uint64
+		if opts.SourceVersion != nil {
+			version = opts.SourceVersion(name)
+		}
+		w("src", name, fmt.Sprintf("v%d", version))
+		seenSrc[name] = version
+	}
+
+	for name, version := range seenSrc {
+		info.Sources = append(info.Sources, SourceRef{Name: name, Version: version})
+	}
+	sort.Slice(info.Sources, func(i, j int) bool { return info.Sources[i].Name < info.Sources[j].Name })
+	info.Hash = hex.EncodeToString(h.Sum(nil))
+	return info, nil
+}
+
+// SourceDatasetName returns the canonical dataset name an operator reads
+// ("" for non-source operators and content-hashed collections).
+func SourceDatasetName(op *Operator) string { return sourceDataset(op) }
+
+func sourceDataset(op *Operator) string {
+	switch op.Kind {
+	case KindTextFileSource:
+		return op.Params.Path
+	case KindTableSource:
+		return op.Params.Store + "." + op.Params.Table
+	}
+	return ""
+}
+
+// hashParams writes every kind-relevant scalar parameter. Collection
+// payloads are content-hashed through the quantum codec; an un-encodable
+// element makes the subtree unfingerprintable.
+func hashParams(w func(...string), op *Operator) error {
+	p := op.Params
+	w("path", p.Path, "table", p.Table, "store", p.Store)
+	for _, c := range p.Columns {
+		w(fmt.Sprintf("col%d", c))
+	}
+	w(fmt.Sprintf("sample=%d/%g/%s/seed%d", p.SampleSize, p.SampleFraction, p.SampleMethod, p.Seed))
+	w(fmt.Sprintf("iters=%d/%d damp=%g ie=%s%s", p.Iterations, p.MaxIterations, p.DampingFactor, p.IEOp1, p.IEOp2))
+	if p.Where != nil {
+		w("where", p.Where.String())
+	}
+	if op.Kind == KindCollectionSource {
+		w(fmt.Sprintf("coll=%d", len(p.Collection)))
+		for _, q := range p.Collection {
+			raw, err := EncodeQuantum(q)
+			if err != nil {
+				return fmt.Errorf("core: fingerprint collection: %w", err)
+			}
+			w(string(raw))
+		}
+	}
+	return nil
+}
+
+// udfIdentity derives a stable identity string for the operator's UDFs: the
+// symbol name of each non-nil function, tagged by role. Symbol names are
+// stable across restarts of the same binary; two distinct closures created
+// at the same code site share a symbol, which is why the operator label is
+// hashed alongside.
+func udfIdentity(u UDFs) string {
+	var s string
+	add := func(role string, fn any) {
+		v := reflect.ValueOf(fn)
+		if !v.IsValid() || v.IsNil() {
+			return
+		}
+		name := "?"
+		if f := runtime.FuncForPC(v.Pointer()); f != nil {
+			name = f.Name()
+		}
+		s += role + "=" + name + ";"
+	}
+	add("map", u.Map)
+	add("flatmap", u.FlatMap)
+	add("pred", u.Pred)
+	add("mappart", u.MapPart)
+	add("key", u.Key)
+	add("keyright", u.KeyRight)
+	add("reduce", u.Reduce)
+	add("combine", u.Combine)
+	add("less", u.Less)
+	add("format", u.Format)
+	add("leftnums", u.LeftNums)
+	add("rightnums", u.RightNums)
+	add("cond", u.Cond)
+	add("open", u.Open)
+	return s
+}

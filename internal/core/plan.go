@@ -72,6 +72,96 @@ func (p *Plan) Broadcast(from, to *Operator) {
 	from.outputs = append(from.outputs, to)
 }
 
+// RewireInput redirects to's input port to a different producer, updating
+// the edge list and both operators' adjacency. The old producer keeps any
+// other edges it has. newFrom must already be part of the plan.
+func (p *Plan) RewireInput(to *Operator, port int, newFrom *Operator) {
+	if port >= len(to.inputs) || to.inputs[port] == nil {
+		p.Connect(newFrom, to, port)
+		return
+	}
+	old := to.inputs[port]
+	to.inputs[port] = newFrom
+	for i, e := range p.edges {
+		if e.To == to && e.ToPort == port && e.From == old && !e.Broadcast {
+			p.edges[i].From = newFrom
+			break
+		}
+	}
+	for i, out := range old.outputs {
+		if out == to {
+			old.outputs = append(old.outputs[:i], old.outputs[i+1:]...)
+			break
+		}
+	}
+	newFrom.outputs = append(newFrom.outputs, to)
+}
+
+// RemoveUnreachable drops every operator (and its edges) from which no sink
+// or loop output can be reached, following dataflow and broadcast edges.
+// It returns the removed operators. Used after cache-scan substitution to
+// prune subtrees whose results now come from the cache.
+func (p *Plan) RemoveUnreachable() []*Operator {
+	keep := make(map[*Operator]bool, len(p.ops))
+	var mark func(o *Operator)
+	mark = func(o *Operator) {
+		if o == nil || keep[o] {
+			return
+		}
+		keep[o] = true
+		for _, in := range o.inputs {
+			mark(in)
+		}
+		for _, bc := range o.broadcasts {
+			mark(bc)
+		}
+		// A loop body may reference outer-plan operators; they must survive.
+		if o.Body != nil {
+			for _, bo := range o.Body.ops {
+				if bo.OuterRef != nil {
+					mark(bo.OuterRef)
+				}
+			}
+		}
+	}
+	for _, o := range p.ops {
+		if o.Kind.IsSink() {
+			mark(o)
+		}
+	}
+	mark(p.LoopOutput)
+	var removed []*Operator
+	kept := p.ops[:0]
+	for _, o := range p.ops {
+		if keep[o] {
+			kept = append(kept, o)
+		} else {
+			removed = append(removed, o)
+		}
+	}
+	p.ops = kept
+	if len(removed) == 0 {
+		return nil
+	}
+	edges := p.edges[:0]
+	for _, e := range p.edges {
+		if keep[e.From] && keep[e.To] {
+			edges = append(edges, e)
+		}
+	}
+	p.edges = edges
+	for _, o := range p.ops {
+		outs := o.outputs[:0]
+		for _, out := range o.outputs {
+			if keep[out] {
+				outs = append(outs, out)
+			}
+		}
+		o.outputs = outs
+	}
+	return removed
+}
+
 // Chain connects a linear sequence of operators on port 0 and returns the
 // last one, a convenience for pipeline construction.
 func (p *Plan) Chain(ops ...*Operator) *Operator {

@@ -38,6 +38,16 @@ type Executor struct {
 	// Metrics records stage counts and per-platform stage time; nil skips
 	// instrumentation.
 	Metrics *telemetry.Registry
+	// Cache, when set, receives the materialized outputs the execution
+	// plan's CacheOuts marks as worth keeping for future jobs.
+	Cache ResultCache
+}
+
+// ResultCache is the cross-job result cache's population interface
+// (implemented by rescache.Cache). StoreResult reports the entry's
+// estimated bytes and whether it was admitted.
+type ResultCache interface {
+	StoreResult(co *core.CacheOut, quanta []any) (int64, bool)
 }
 
 // Result is the outcome of a plan execution.
@@ -217,6 +227,11 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 				if op.Kind.IsSink() {
 					res.Sinks[op] = ch
 				}
+				if ex.Cache != nil {
+					if co := ep.CacheOuts[op]; co != nil {
+						ex.storeCacheOut(parent, op, co, ch)
+					}
+				}
 			}
 			if oc.stats != nil {
 				res.Stats = append(res.Stats, oc.stats)
@@ -306,6 +321,33 @@ func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) 
 	}
 }
 
+// storeCacheOut publishes one marked, already-materialized stage output to
+// the cross-job result cache, recording a cache-store span under sp.
+func (ex *Executor) storeCacheOut(sp *trace.Span, op *core.Operator, co *core.CacheOut, ch *core.Channel) {
+	quanta, err := channelQuanta(ch)
+	if err != nil {
+		return // platform-native payloads that cannot be materialized are not cacheable
+	}
+	start := time.Now()
+	bytes, ok := ex.Cache.StoreResult(co, quanta)
+	stSp := sp.AddTimed(trace.KindCacheStore, "cache-store:"+shortFingerprint(co.Fingerprint), start, time.Now())
+	stSp.SetAttr("fingerprint", co.Fingerprint)
+	stSp.SetAttr("operator", op.String())
+	stSp.SetInt("quanta", int64(len(quanta)))
+	stSp.SetInt("bytes", bytes)
+	stSp.SetFloat("cost_ms", co.CostMs)
+	if !ok {
+		stSp.SetAttr("rejected", "true")
+	}
+}
+
+func shortFingerprint(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
 // mergePlans keeps the old assignments for executed operators and adopts
 // the new plan's choices for everything else.
 func mergePlans(old, new *core.ExecPlan, executed map[*core.Operator]bool) *core.ExecPlan {
@@ -315,6 +357,9 @@ func mergePlans(old, new *core.ExecPlan, executed map[*core.Operator]bool) *core
 		Movements:   map[*core.Operator]*core.MovementPlan{},
 		LoopBodies:  map[*core.Operator]*core.ExecPlan{},
 		Cost:        new.Cost,
+		// Cache markings survive replans: they were computed against the
+		// same plan structure, and replanned execution plans carry none.
+		CacheOuts: old.CacheOuts,
 	}
 	for op, a := range new.Assignments {
 		merged.Assignments[op] = a

@@ -556,3 +556,102 @@ func TestRunTextFileSink(t *testing.T) {
 		t.Fatalf("lines = %v", lines)
 	}
 }
+
+// TestDiamondStageDAG covers a diamond-shaped stage graph: one producer
+// stage feeding two consumer stages that rejoin through a Union. Cache-scan
+// substitution and multi-sink plans create exactly this shape, but earlier
+// tests only asserted linear and fan-out stage topologies.
+func TestDiamondStageDAG(t *testing.T) {
+	e := newEnv(t)
+	p := core.NewPlan("diamond")
+	src := p.NewOperator(core.KindCollectionSource, "src")
+	src.Params.Collection = ints(5)
+	src.TargetPlatform = "spark"
+	left := p.NewOperator(core.KindMap, "x10")
+	left.UDF.Map = func(q any) any { return q.(int64) * 10 }
+	left.TargetPlatform = "streams"
+	right := p.NewOperator(core.KindMap, "plus100")
+	right.UDF.Map = func(q any) any { return q.(int64) + 100 }
+	right.TargetPlatform = "flink"
+	union := p.NewOperator(core.KindUnion, "merge")
+	union.TargetPlatform = "spark"
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	sink.TargetPlatform = "spark"
+	p.Connect(src, left, 0)
+	p.Connect(src, right, 0)
+	p.Connect(left, union, 0)
+	p.Connect(right, union, 1)
+	p.Connect(union, sink, 0)
+
+	ep := e.optimize(t, p)
+	stages, err := BuildStages(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four stages: spark source, streams branch, flink branch, spark rejoin.
+	// The source must not be merged into the rejoin stage even though both
+	// run on spark — they are not contiguous.
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d: %v", len(stages), stages)
+	}
+	stageOf := func(op *core.Operator) *core.Stage {
+		for _, s := range stages {
+			if s.Contains(op) {
+				return s
+			}
+		}
+		t.Fatalf("operator %s not in any stage", op.Label)
+		return nil
+	}
+	sSrc, sLeft, sRight, sJoin := stageOf(src), stageOf(left), stageOf(right), stageOf(union)
+	if sSrc == sJoin {
+		t.Error("source and rejoin share a stage despite non-contiguity")
+	}
+	if sLeft == sRight {
+		t.Error("the two branches share a stage")
+	}
+	if stageOf(sink) != sJoin {
+		t.Error("union and sink split across stages")
+	}
+	// Every operator belongs to exactly one stage (the shared producer must
+	// not be duplicated into each consumer's stage).
+	counts := map[*core.Operator]int{}
+	for _, s := range stages {
+		for _, op := range s.Ops {
+			counts[op]++
+		}
+	}
+	for op, n := range counts {
+		if n != 1 {
+			t.Errorf("operator %s appears in %d stages", op.Label, n)
+		}
+	}
+	// Dependency edges form the diamond: both branches depend on the source
+	// stage, the rejoin depends on both branches (and not directly vice versa).
+	deps := stageDeps(ep, stages)
+	if !deps[sLeft][sSrc] || !deps[sRight][sSrc] {
+		t.Errorf("branch stages do not depend on the source stage: %v", deps)
+	}
+	if !deps[sJoin][sLeft] || !deps[sJoin][sRight] {
+		t.Errorf("rejoin stage does not depend on both branches: %v", deps)
+	}
+	if deps[sSrc][sJoin] || deps[sLeft][sJoin] || deps[sRight][sJoin] {
+		t.Errorf("dependency edges point the wrong way: %v", deps)
+	}
+
+	res, err := e.ex.Run(ep)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := res.FirstSinkData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 10, 20, 30, 40, 100, 101, 102, 103, 104}
+	if got := sortedInts(t, data); !reflect.DeepEqual(got, want) {
+		t.Fatalf("diamond result = %v, want %v", got, want)
+	}
+	if len(res.Stats) != 4 {
+		t.Errorf("stage stats = %d, want 4", len(res.Stats))
+	}
+}

@@ -18,7 +18,18 @@ func skipUnderRace(t *testing.T) {
 	}
 }
 
+// skipIfShort skips the multi-second experiment regenerations under
+// `go test -short` (used by verify.sh -short): each of these tests drives
+// full optimizer+executor runs across several configurations.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
 func TestFig2aShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig2a(Options{Scale: 0.5})
 	if err != nil {
@@ -45,6 +56,7 @@ func TestFig2aShape(t *testing.T) {
 }
 
 func TestFig2bShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig2b(Options{Scale: 0.15})
 	if err != nil {
@@ -69,6 +81,7 @@ func TestFig2bShape(t *testing.T) {
 }
 
 func TestFig2cShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig2c(Options{Scale: 0.25})
 	if err != nil {
@@ -89,6 +102,7 @@ func TestFig2cShape(t *testing.T) {
 }
 
 func TestFig2dShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig2d(Options{Scale: 0.3})
 	if err != nil {
@@ -115,6 +129,7 @@ func TestFig2dShape(t *testing.T) {
 }
 
 func TestFig9aShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig9a(Options{Scale: 0.1})
 	if err != nil {
@@ -141,6 +156,7 @@ func TestFig9aShape(t *testing.T) {
 }
 
 func TestFig10bShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig10b(Options{Scale: 0.5})
 	if err != nil {
@@ -166,6 +182,7 @@ func TestFig10bShape(t *testing.T) {
 }
 
 func TestFig10cShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig10c(Options{Scale: 0.3})
 	if err != nil {
@@ -183,6 +200,7 @@ func TestFig10cShape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig11(Options{Scale: 0.1})
 	if err != nil {
@@ -208,6 +226,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	skipIfShort(t)
 	s, err := Table1(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +239,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipIfShort(t)
 	prune, err := AblationPruning(Options{Scale: 0.2})
 	if err != nil {
 		t.Fatal(err)
@@ -245,6 +265,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestAblationLearnedCostsPreservesChoices(t *testing.T) {
+	skipIfShort(t)
 	rows, err := AblationLearnedCosts(Options{Scale: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -281,6 +302,7 @@ func TestRenderTable(t *testing.T) {
 }
 
 func TestFig10aShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	// The margin is modest at laptop scale; take the best of three runs per
 	// system to damp scheduler noise.
@@ -327,6 +349,7 @@ func TestFig10aShape(t *testing.T) {
 }
 
 func TestFig9fShape(t *testing.T) {
+	skipIfShort(t)
 	skipUnderRace(t)
 	rows, err := Fig9f(Options{Scale: 0.15})
 	if err != nil {

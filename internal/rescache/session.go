@@ -1,0 +1,270 @@
+package rescache
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"rheem/internal/core"
+	"rheem/internal/trace"
+)
+
+// ScanLabelPrefix marks cache-scan source operators substituted into a plan
+// on a cache hit. The prefix persists on the (mutated) plan, so a later
+// session over the same plan object recognizes the scans and does not
+// re-fingerprint or re-store data that already came from the cache.
+const ScanLabelPrefix = "cache-scan:"
+
+// Session drives the cache through one job execution: Begin probes the
+// cache for every fingerprinted subtree of the plan and substitutes
+// cache-scan sources on hits; Fingerprints feeds the optimizer's
+// cache-marking pass; Close releases single-flight claims (waking followers
+// of this job's fingerprints). All methods are nil-receiver safe, so
+// cache-less executions carry a nil session at zero cost.
+type Session struct {
+	cache *Cache
+	plan  *core.Plan
+	fps   map[*core.Operator]*core.FPInfo
+
+	claimed    []string
+	claimedSet map[string]bool
+	hits       int
+	probed     int
+}
+
+// Begin opens a cache session for one execution of plan. It probes the
+// cache for every fingerprinted subtree (deepest first), substitutes
+// cache-scan sources on hits (pruning the now-dead upstream operators), and
+// then applies sink-level single-flight: if another in-flight job is
+// already computing an identical sink result, Begin blocks until that job
+// publishes (or fails), so N identical concurrent jobs compute exactly
+// once. A cache-probe trace span (with nested cache-hit spans) is emitted
+// under the span carried by ctx. Begin mutates the plan on hits.
+func (c *Cache) Begin(ctx context.Context, plan *core.Plan) *Session {
+	if c == nil {
+		return nil
+	}
+	s := &Session{cache: c, plan: plan, claimedSet: map[string]bool{}}
+	probe := trace.FromContext(ctx).Start(trace.KindCacheProbe, "cache-probe")
+	s.substitute(probe)
+	s.flight(ctx, probe)
+	probe.SetInt("probed", int64(s.probed))
+	probe.SetInt("hits", int64(s.hits))
+	probe.End()
+	return s
+}
+
+// Fingerprints returns the plan's post-substitution subtree fingerprints,
+// the input of optimizer.MarkCacheOuts.
+func (s *Session) Fingerprints() map[*core.Operator]*core.FPInfo {
+	if s == nil {
+		return nil
+	}
+	return s.fps
+}
+
+// Hits reports how many subtrees were served from the cache.
+func (s *Session) Hits() int {
+	if s == nil {
+		return 0
+	}
+	return s.hits
+}
+
+// Close releases this session's single-flight claims, waking followers.
+// It must be called on every execution path (success or failure): a failed
+// leader's followers re-probe, miss, and elect a new leader among
+// themselves, so a crash never wedges the fingerprint.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	for _, fp := range s.claimed {
+		s.cache.Release(fp)
+	}
+	s.claimed = nil
+}
+
+// substitute runs one probe pass: fingerprint the plan, probe every
+// candidate subtree deepest-first, and substitute cache-scan sources on
+// hits. Substituting at an operator prunes its entire upstream subtree, so
+// hashes of surviving operators (computed before any mutation) stay valid
+// for the remainder of the pass. It finishes by re-fingerprinting, giving
+// the post-substitution map used for cache marking.
+func (s *Session) substitute(probe *trace.Span) {
+	fps := core.FingerprintPlan(s.plan, core.FingerprintOptions{
+		SourceVersion: s.cache.SourceVersion,
+		Skip:          s.skipSet(),
+	})
+	order, err := s.plan.TopoOrder()
+	if err != nil {
+		s.fps = fps
+		return
+	}
+	noSub := s.unsubstitutable()
+	removed := map[*core.Operator]bool{}
+	for i := len(order) - 1; i >= 0; i-- {
+		op := order[i]
+		if removed[op] || noSub[op] {
+			continue
+		}
+		info := fps[op]
+		if info == nil || op.Kind == core.KindCollectionSource {
+			continue
+		}
+		s.probed++
+		hit, ok := s.cache.Get(info.Hash)
+		if !ok {
+			continue
+		}
+		for _, gone := range s.apply(op, info, hit, probe) {
+			removed[gone] = true
+		}
+	}
+	s.fps = core.FingerprintPlan(s.plan, core.FingerprintOptions{
+		SourceVersion: s.cache.SourceVersion,
+		Skip:          s.skipSet(),
+	})
+}
+
+// skipSet collects the plan's existing cache-scan sources: their content
+// came from the cache, so treating them as fingerprintable would re-store
+// already-cached results under content-hash identities.
+func (s *Session) skipSet() map[*core.Operator]bool {
+	skip := map[*core.Operator]bool{}
+	for _, op := range s.plan.Operators() {
+		if strings.HasPrefix(op.Label, ScanLabelPrefix) {
+			skip[op] = true
+		}
+	}
+	return skip
+}
+
+// unsubstitutable collects operators a cache hit cannot replace: broadcast
+// producers (rewiring side inputs is not supported) and loop-body outer
+// reference targets (the placeholder holds a pointer to the operator, which
+// must stay executable).
+func (s *Session) unsubstitutable() map[*core.Operator]bool {
+	out := map[*core.Operator]bool{}
+	for _, e := range s.plan.Edges() {
+		if e.Broadcast {
+			out[e.From] = true
+		}
+	}
+	for _, op := range s.plan.Operators() {
+		if op.Body == nil {
+			continue
+		}
+		for _, bodyOp := range op.Body.Operators() {
+			if bodyOp.OuterRef != nil {
+				out[bodyOp.OuterRef] = true
+			}
+		}
+	}
+	return out
+}
+
+// apply substitutes a cache-scan source for op's subtree and returns the
+// pruned operators. Sinks keep their identity (results are collected by
+// sink operator pointer) and are instead re-fed from the scan; any other
+// operator is replaced for all of its consumers.
+func (s *Session) apply(op *core.Operator, info *core.FPInfo, hit Hit, probe *trace.Span) []*core.Operator {
+	quanta := hit.Quanta
+	if quanta == nil {
+		quanta = []any{}
+	}
+	scan := s.plan.Add(&core.Operator{
+		Kind:   core.KindCollectionSource,
+		Label:  ScanLabelPrefix + shortFP(info.Hash),
+		Params: core.Params{Collection: quanta},
+	})
+	if op.Kind.IsSink() {
+		s.plan.RewireInput(op, 0, scan)
+	} else {
+		consumers := append([]*core.Operator(nil), op.Outputs()...)
+		for _, consumer := range consumers {
+			for port, in := range consumer.Inputs() {
+				if in == op {
+					s.plan.RewireInput(consumer, port, scan)
+				}
+			}
+		}
+	}
+	removed := s.plan.RemoveUnreachable()
+	s.hits++
+	sp := probe.Start(trace.KindCacheHit, "cache-hit:"+shortFP(info.Hash))
+	sp.SetAttr("fingerprint", info.Hash)
+	sp.SetAttr("operator", op.String())
+	sp.SetInt("quanta", int64(len(quanta)))
+	sp.SetFloat("saved_cost_ms", hit.CostMs)
+	sp.SetInt("pruned_ops", int64(len(removed)))
+	sp.End()
+	return removed
+}
+
+// flight applies sink-level single-flight. For every sink whose subtree
+// fingerprint missed the cache, the session either claims leadership (and
+// computes the result as part of its execution) or waits for the current
+// leader, then re-probes. Claims are acquired in fingerprint order and a
+// session only ever waits on fingerprints greater than those it holds, so
+// concurrent jobs with overlapping sink sets cannot deadlock.
+func (s *Session) flight(ctx context.Context, probe *trace.Span) {
+	for {
+		type cand struct {
+			sink *core.Operator
+			fp   string
+		}
+		var cands []cand
+		for _, sink := range s.plan.Sinks() {
+			if info := s.fps[sink]; info != nil && !s.claimedSet[info.Hash] {
+				cands = append(cands, cand{sink, info.Hash})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].fp < cands[j].fp })
+		waited := false
+		for _, cd := range cands {
+			leader, done := s.cache.Claim(cd.fp)
+			if leader {
+				s.claimed = append(s.claimed, cd.fp)
+				s.claimedSet[cd.fp] = true
+				continue
+			}
+			select {
+			case <-done:
+				// The leader finished (or failed): re-probe. A hit
+				// substitutes the sink's input; a miss keeps the sink as a
+				// candidate, and the next round claims leadership.
+				s.substitute(probe)
+				waited = true
+			case <-ctx.Done():
+				return
+			}
+			break
+		}
+		if !waited {
+			return
+		}
+	}
+}
+
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// StoreResult materializes one marked stage output into the cache,
+// estimating its footprint through the quantum codec. It returns the
+// estimated bytes and whether the entry was admitted; results with
+// un-encodable quanta are not cached.
+func (c *Cache) StoreResult(co *core.CacheOut, quanta []any) (int64, bool) {
+	if c == nil || co == nil {
+		return 0, false
+	}
+	bytes, ok := EstimateBytes(quanta)
+	if !ok {
+		return 0, false
+	}
+	return bytes, c.Put(co.Fingerprint, quanta, co.CostMs, bytes, co.Sources)
+}

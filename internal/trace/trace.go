@@ -40,6 +40,9 @@ const (
 	KindConversion = "channel-conversion"
 	KindRetry      = "retry"
 	KindLoop       = "loop"
+	KindCacheProbe = "cache-probe"
+	KindCacheHit   = "cache-hit"
+	KindCacheStore = "cache-store"
 )
 
 // Attr is one key=value annotation on a span.

@@ -13,6 +13,9 @@
 //	GET    /v1/jobs/{id}/result [?sink=name]      -> the run payload of a succeeded job
 //	GET    /v1/jobs/{id}/trace  [?format=chrome]  -> the job's span tree (native or Chrome trace_event JSON)
 //	DELETE /v1/jobs/{id}                          -> cancel a queued or running job
+//	GET    /v1/cache/stats     [?details=true]    -> result-cache counters (+ per-entry details)
+//	DELETE /v1/cache           [?source=name]     -> clear the cache (or invalidate one source dataset)
+//	DELETE /v1/cache/{fp}                         -> drop one cached entry by fingerprint
 //	GET    /v1/metrics                            -> Prometheus text exposition
 //	GET    /v1/platforms                          -> {"platforms": [...]}
 //	GET    /v1/health                             -> 200 ok
@@ -108,6 +111,9 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
+	s.mux.HandleFunc("DELETE /v1/cache/{fp}", s.handleCacheDelete)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
@@ -424,6 +430,47 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusInternalServerError, "cancel %s: %v", id, err)
 	}
+}
+
+// handleCacheStats reports the result cache's counters; ?details=true adds
+// per-entry fingerprints, sizes, and hit counts (sorted by eviction
+// survivorship). Contexts without a configured cache get a 404.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if s.Ctx.Cache == nil {
+		httpError(w, http.StatusNotFound, "result cache is not enabled")
+		return
+	}
+	details := r.URL.Query().Get("details") == "true"
+	writeJSON(w, s.Ctx.Cache.Stats(details))
+}
+
+// handleCacheClear drops every cached entry, or — with ?source=name —
+// invalidates one source dataset: its version is bumped (changing all
+// future fingerprints that read it) and the entries reading it are dropped.
+func (s *Server) handleCacheClear(w http.ResponseWriter, r *http.Request) {
+	if s.Ctx.Cache == nil {
+		httpError(w, http.StatusNotFound, "result cache is not enabled")
+		return
+	}
+	if source := r.URL.Query().Get("source"); source != "" {
+		n := s.Ctx.Cache.InvalidateSource(source)
+		writeJSON(w, map[string]any{"invalidated_source": source, "dropped": n})
+		return
+	}
+	writeJSON(w, map[string]any{"dropped": s.Ctx.Cache.Clear()})
+}
+
+func (s *Server) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
+	if s.Ctx.Cache == nil {
+		httpError(w, http.StatusNotFound, "result cache is not enabled")
+		return
+	}
+	fp := r.PathValue("fp")
+	if !s.Ctx.Cache.Delete(fp) {
+		httpError(w, http.StatusNotFound, "no cache entry %s", fp)
+		return
+	}
+	writeJSON(w, map[string]any{"deleted": fp})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

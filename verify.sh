@@ -1,7 +1,21 @@
 #!/bin/sh
 # Repo verification gate: formatting, vet, build, and the race-enabled
 # test suite.
-set -ex
+#
+#	./verify.sh         # full gate (several minutes: experiment suites)
+#	./verify.sh -short  # skip the multi-second experiment regenerations
+set -e
+short=""
+for arg in "$@"; do
+	case "$arg" in
+	-short) short="-short" ;;
+	*)
+		echo "usage: $0 [-short]" >&2
+		exit 2
+		;;
+	esac
+done
+set -x
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt: needs formatting:" "$unformatted" >&2
@@ -9,4 +23,4 @@ if [ -n "$unformatted" ]; then
 fi
 go vet ./...
 go build ./...
-go test -race ./...
+go test -race $short ./...
