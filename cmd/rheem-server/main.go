@@ -28,6 +28,7 @@ import (
 	"rheem/internal/core"
 	"rheem/internal/jobs"
 	"rheem/internal/rescache"
+	"rheem/internal/storage/dfs"
 	"rheem/internal/telemetry"
 	"rheem/internal/xlog"
 	"rheem/latin"
@@ -51,6 +52,8 @@ func run() int {
 	traceCap := flag.Int("trace-capacity", 256, "per-job execution traces retained (LRU)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache capacity in estimated bytes; 0 disables cross-job result caching")
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Minute, "result-cache entry lifetime; 0 keeps entries until evicted")
+	cacheSpillBytes := flag.Int64("cache-spill-bytes", 0, "disk tier capacity for capacity-evicted cache entries; 0 disables spilling")
+	cacheSpillDir := flag.String("cache-spill-dir", "", "spill store directory, re-indexed across restarts (default: temporary)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -65,10 +68,28 @@ func run() int {
 	metrics := telemetry.NewRegistry()
 	var cache *rescache.Cache
 	if *cacheBytes > 0 {
+		// The spill store is a dedicated single-node, single-replica DFS:
+		// spilled entries are a cache, not durable data, so replication
+		// would only multiply the disk footprint.
+		var spillStore *dfs.Store
+		if *cacheSpillBytes > 0 {
+			spillOpts := dfs.Options{Replication: 1, Nodes: 1}
+			if *cacheSpillDir != "" {
+				spillStore, err = dfs.New(*cacheSpillDir, spillOpts)
+			} else {
+				spillStore, err = dfs.NewTemp(spillOpts)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rheem-server: cache spill store:", err)
+				return 2
+			}
+		}
 		cache = rescache.New(rescache.Options{
-			MaxBytes: *cacheBytes,
-			TTL:      *cacheTTL,
-			Metrics:  metrics,
+			MaxBytes:      *cacheBytes,
+			TTL:           *cacheTTL,
+			SpillStore:    spillStore,
+			SpillMaxBytes: *cacheSpillBytes,
+			Metrics:       metrics,
 		})
 	}
 	ctx, err := rheem.NewContext(rheem.Config{
@@ -125,7 +146,8 @@ func run() int {
 	logger.Info("listening", "addr", *addr,
 		"platforms", fmt.Sprintf("%v", ctx.Registry.Mappings.Platforms()),
 		"workers", *workers, "queue", *queue, "level", level,
-		"cache_bytes", *cacheBytes, "cache_ttl", *cacheTTL)
+		"cache_bytes", *cacheBytes, "cache_ttl", *cacheTTL,
+		"cache_spill_bytes", *cacheSpillBytes)
 
 	select {
 	case err := <-errCh:

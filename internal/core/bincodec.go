@@ -1,0 +1,397 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary quantum codec, the default wire format on every data-movement hot
+// path (file channels, DFS shuffle partitions, cache spill files). Values
+// carry a one-byte type tag followed by a compact payload: varints for
+// integers and lengths, raw 8-byte IEEE 754 for floats, recursively encoded
+// elements for composites. Unlike the tagged-JSON codec it needs no
+// per-field json.Marshal round-trips and no intermediate RawMessage
+// allocations; encoders append into caller-supplied buffers so steady-state
+// encoding is allocation-free.
+//
+// Streams of quanta (files, DFS objects) are length-prefixed frames — a
+// uvarint payload length before each encoded quantum — behind the
+// BinaryQuantaMagic header, replacing the line-delimited records of the
+// JSON codec. Readers auto-detect the header and fall back to JSON lines,
+// so data written before the binary codec existed still decodes.
+
+// Type tags. A decoded stream must reproduce exactly the types the JSON
+// codec would: ints (any width) come back as int64, unknown types take the
+// JSON fallback and decode best-effort.
+const (
+	binNil    = 0x00
+	binFalse  = 0x01
+	binTrue   = 0x02
+	binInt    = 0x03 // zigzag varint
+	binFloat  = 0x04 // 8-byte little-endian IEEE 754
+	binString = 0x05 // uvarint length + bytes
+	binFloats = 0x06 // uvarint count + 8 bytes each
+	binRecord = 0x07 // uvarint count + encoded elements
+	binSlice  = 0x08 // uvarint count + encoded elements
+	binKV     = 0x09 // encoded key + encoded value
+	binEdge   = 0x0a // zigzag src + zigzag dst
+	binGroup  = 0x0b // encoded key + uvarint count + encoded values
+	binJSON   = 0x0c // uvarint length + plain JSON (foreign types, best effort)
+)
+
+// BinaryQuantaMagic heads every binary quanta stream. The JSON codec always
+// emits '{' as a record's first byte, so the first byte of a stream
+// unambiguously selects the decoder.
+const BinaryQuantaMagic = "RQB1"
+
+// AppendQuantumBinary appends the binary encoding of one quantum to buf and
+// returns the extended buffer. Reusing the returned buffer across calls
+// (buf[:0]) keeps steady-state encoding allocation-free.
+func AppendQuantumBinary(buf []byte, q any) ([]byte, error) {
+	switch v := q.(type) {
+	case nil:
+		return append(buf, binNil), nil
+	case bool:
+		if v {
+			return append(buf, binTrue), nil
+		}
+		return append(buf, binFalse), nil
+	case int:
+		return appendZigzag(append(buf, binInt), int64(v)), nil
+	case int64:
+		return appendZigzag(append(buf, binInt), v), nil
+	case float64:
+		buf = append(buf, binFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)), nil
+	case string:
+		buf = binary.AppendUvarint(append(buf, binString), uint64(len(v)))
+		return append(buf, v...), nil
+	case []float64:
+		buf = binary.AppendUvarint(append(buf, binFloats), uint64(len(v)))
+		for _, f := range v {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return buf, nil
+	case Record:
+		return appendElems(append(buf, binRecord), v)
+	case []any:
+		return appendElems(append(buf, binSlice), v)
+	case KV:
+		buf, err := AppendQuantumBinary(append(buf, binKV), v.Key)
+		if err != nil {
+			return nil, err
+		}
+		return AppendQuantumBinary(buf, v.Value)
+	case Edge:
+		return appendZigzag(appendZigzag(append(buf, binEdge), v.Src), v.Dst), nil
+	case Group:
+		buf, err := AppendQuantumBinary(append(buf, binGroup), v.Key)
+		if err != nil {
+			return nil, err
+		}
+		return appendElems(buf, v.Values)
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: binary-encode quantum %T: %w", q, err)
+		}
+		buf = binary.AppendUvarint(append(buf, binJSON), uint64(len(raw)))
+		return append(buf, raw...), nil
+	}
+}
+
+func appendElems(buf []byte, vs []any) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(vs)))
+	var err error
+	for _, v := range vs {
+		if buf, err = AppendQuantumBinary(buf, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendZigzag(buf []byte, v int64) []byte {
+	return binary.AppendUvarint(buf, uint64(v<<1)^uint64(v>>63))
+}
+
+// EncodeQuantumBinary serializes one quantum into a fresh buffer.
+func EncodeQuantumBinary(q any) ([]byte, error) { return AppendQuantumBinary(nil, q) }
+
+// ErrCorruptQuantum reports a malformed or truncated binary quantum.
+var ErrCorruptQuantum = errors.New("core: corrupt binary quantum")
+
+// DecodeQuantumBinary parses one binary-encoded quantum. The encoding must
+// occupy the whole input; trailing bytes are corruption, never silently
+// ignored.
+func DecodeQuantumBinary(data []byte) (any, error) {
+	q, rest, err := decodeQuantumBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptQuantum, len(rest))
+	}
+	return q, nil
+}
+
+func decodeQuantumBinary(data []byte) (any, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty input", ErrCorruptQuantum)
+	}
+	tag, data := data[0], data[1:]
+	switch tag {
+	case binNil:
+		return nil, data, nil
+	case binFalse:
+		return false, data, nil
+	case binTrue:
+		return true, data, nil
+	case binInt:
+		v, rest, err := decodeZigzag(data)
+		return v, rest, err
+	case binFloat:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("%w: short float", ErrCorruptQuantum)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(data)), data[8:], nil
+	case binString:
+		n, rest, err := decodeLen(data, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return string(rest[:n]), rest[n:], nil
+	case binFloats:
+		n, rest, err := decodeLen(data, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return out, rest[8*n:], nil
+	case binRecord:
+		vs, rest, err := decodeElems(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Record(vs), rest, nil
+	case binSlice:
+		vs, rest, err := decodeElems(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return vs, rest, nil
+	case binKV:
+		key, rest, err := decodeQuantumBinary(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		val, rest, err := decodeQuantumBinary(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return KV{Key: key, Value: val}, rest, nil
+	case binEdge:
+		src, rest, err := decodeZigzag(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		dst, rest, err := decodeZigzag(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Edge{Src: src, Dst: dst}, rest, nil
+	case binGroup:
+		key, rest, err := decodeQuantumBinary(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals, rest, err := decodeElems(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vals == nil {
+			vals = []any{}
+		}
+		return Group{Key: key, Values: vals}, rest, nil
+	case binJSON:
+		n, rest, err := decodeLen(data, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		var v any
+		if err := json.Unmarshal(rest[:n], &v); err != nil {
+			return nil, nil, fmt.Errorf("%w: embedded JSON: %v", ErrCorruptQuantum, err)
+		}
+		return v, rest[n:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrCorruptQuantum, tag)
+	}
+}
+
+func decodeElems(data []byte) ([]any, []byte, error) {
+	n, rest, err := decodeLen(data, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]any, n)
+	for i := range out {
+		if out[i], rest, err = decodeQuantumBinary(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rest, nil
+}
+
+// decodeLen reads a uvarint count and verifies that count*elemSize payload
+// bytes follow, guarding slice allocations against corrupt lengths.
+func decodeLen(data []byte, elemSize int) (int, []byte, error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint length", ErrCorruptQuantum)
+	}
+	rest := data[w:]
+	if n > uint64(len(rest)/elemSize) {
+		return 0, nil, fmt.Errorf("%w: length %d exceeds remaining input", ErrCorruptQuantum, n)
+	}
+	return int(n), rest, nil
+}
+
+func decodeZigzag(data []byte) (int64, []byte, error) {
+	u, w := binary.Uvarint(data)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorruptQuantum)
+	}
+	return int64(u>>1) ^ -int64(u&1), data[w:], nil
+}
+
+// --- framed streams ------------------------------------------------------
+
+// QuantaEncoder writes a framed binary quanta stream: the magic header
+// followed by one uvarint-length-prefixed frame per quantum. The encode
+// buffer is reused across quanta.
+type QuantaEncoder struct {
+	w       *bufio.Writer
+	scratch []byte
+	lenBuf  [binary.MaxVarintLen64]byte
+	started bool
+}
+
+// NewQuantaEncoder wraps w in a framed binary quanta stream writer.
+func NewQuantaEncoder(w io.Writer) *QuantaEncoder {
+	return &QuantaEncoder{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Encode appends one quantum to the stream.
+func (e *QuantaEncoder) Encode(q any) error {
+	if !e.started {
+		e.started = true
+		if _, err := e.w.WriteString(BinaryQuantaMagic); err != nil {
+			return err
+		}
+	}
+	buf, err := AppendQuantumBinary(e.scratch[:0], q)
+	if err != nil {
+		return err
+	}
+	e.scratch = buf
+	n := binary.PutUvarint(e.lenBuf[:], uint64(len(buf)))
+	if _, err := e.w.Write(e.lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err = e.w.Write(buf)
+	return err
+}
+
+// Flush completes the stream. An empty stream still gets its magic header,
+// so a zero-quanta file reads back as binary (not as empty JSON lines).
+func (e *QuantaEncoder) Flush() error {
+	if !e.started {
+		e.started = true
+		if _, err := e.w.WriteString(BinaryQuantaMagic); err != nil {
+			return err
+		}
+	}
+	return e.w.Flush()
+}
+
+// WriteQuantaStream encodes quanta as a framed binary stream on w.
+func WriteQuantaStream(w io.Writer, quanta []any) error {
+	enc := NewQuantaEncoder(w)
+	for _, q := range quanta {
+		if err := enc.Encode(q); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// ReadQuantaStream decodes a quanta stream, auto-detecting the format: the
+// binary magic selects frame decoding, anything else is read as legacy
+// tagged-JSON lines (the format every quanta file used before the binary
+// codec), so old data keeps decoding.
+func ReadQuantaStream(r io.Reader) ([]any, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(BinaryQuantaMagic))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("core: read quanta stream: %w", err)
+	}
+	if string(head) == BinaryQuantaMagic {
+		br.Discard(len(BinaryQuantaMagic))
+		return readBinaryFrames(br)
+	}
+	// Legacy JSON lines (also the empty-file case).
+	var out []any
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		q, err := DecodeQuantum(sc.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: scan quanta stream: %w", err)
+	}
+	return out, nil
+}
+
+func readBinaryFrames(br *bufio.Reader) ([]any, error) {
+	var out []any
+	var frame []byte
+	for {
+		n, err := binary.ReadUvarint(br)
+		if errors.Is(err, io.EOF) {
+			return out, nil // clean end between frames
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: frame length: %v", ErrCorruptQuantum, err)
+		}
+		if n > 1<<31 {
+			return nil, fmt.Errorf("%w: frame length %d", ErrCorruptQuantum, n)
+		}
+		if uint64(cap(frame)) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame: %v", ErrCorruptQuantum, err)
+		}
+		q, err := DecodeQuantumBinary(frame)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+}

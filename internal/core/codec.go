@@ -5,13 +5,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
-// Quanta serialization for file-typed channels. Encoded values are JSON
-// with a one-letter type tag, applied recursively, so heterogeneous and
-// nested quantum types (records of KVs of int64s, ...) round-trip
-// faithfully through data movement via files — a UDF downstream of a
+// Tagged-JSON quantum codec: values are JSON with a one-letter type tag,
+// applied recursively, so heterogeneous and nested quantum types (records
+// of KVs of int64s, ...) round-trip faithfully — a UDF downstream of a
 // conversion must see exactly the types its producer emitted.
+//
+// This is the legacy wire format and the human-readable fallback (REST
+// responses, external-system emulations). The data-movement hot paths use
+// the binary codec in bincodec.go; readers of at-rest quanta auto-detect
+// which of the two formats they are looking at.
 
 type taggedQuantum struct {
 	T string          `json:"t"`
@@ -182,50 +187,51 @@ func decodeSliceRaw(raw json.RawMessage) ([]any, error) {
 	return out, nil
 }
 
-// WriteQuantaFile encodes quanta to a file, one tagged JSON line each.
+// WriteQuantaFile encodes quanta to a file in the framed binary format
+// (see bincodec.go). The file is written via a temporary sibling and
+// renamed into place on success, so an encode or flush error never leaves
+// a partially-written file behind at path.
 func WriteQuantaFile(path string, quanta []any) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".quanta-*.tmp")
 	if err != nil {
 		return fmt.Errorf("core: write quanta file: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	for _, q := range quanta {
-		line, err := EncodeQuantum(q)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		w.Write(line)
-		w.WriteByte('\n')
-	}
-	if err := w.Flush(); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
-		return fmt.Errorf("core: flush quanta file: %w", err)
+		os.Remove(tmp)
+		return err
 	}
-	return f.Close()
+	enc := NewQuantaEncoder(f)
+	for _, q := range quanta {
+		if err := enc.Encode(q); err != nil {
+			return fail(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return fail(fmt.Errorf("core: flush quanta file: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: close quanta file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: finalize quanta file: %w", err)
+	}
+	return nil
 }
 
-// ReadQuantaFile decodes a file written by WriteQuantaFile.
+// ReadQuantaFile decodes a file written by WriteQuantaFile, auto-detecting
+// the format: framed binary (current) or tagged JSON lines (files written
+// before the binary codec existed).
 func ReadQuantaFile(path string) ([]any, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: read quanta file: %w", err)
 	}
 	defer f.Close()
-	var out []any
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<24)
-	for sc.Scan() {
-		q, err := DecodeQuantum(sc.Bytes())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, q)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: scan quanta file: %w", err)
-	}
-	return out, nil
+	return ReadQuantaStream(f)
 }
 
 // ReadTextFile reads a plain text file into one string quantum per line.

@@ -30,8 +30,8 @@ import (
 //   - Named sources (files, tables) hash their dataset name plus a version
 //     supplied by the SourceVersion hook; bumping the version (explicit
 //     invalidation) changes every fingerprint downstream of the dataset.
-//   - Collection sources hash their full content via the quantum codec, so
-//     identical literal inputs collide and different ones do not.
+//   - Collection sources hash their full content via the binary quantum
+//     codec, so identical literal inputs collide and different ones do not.
 //   - Subtrees containing loops, loop placeholders (LoopInput/OuterRef), or
 //     values the codec cannot encode are not fingerprintable: they are
 //     omitted from the result, as is everything downstream of them.
@@ -229,11 +229,13 @@ func hashParams(w func(...string), op *Operator) error {
 	}
 	if op.Kind == KindCollectionSource {
 		w(fmt.Sprintf("coll=%d", len(p.Collection)))
+		var buf []byte
 		for _, q := range p.Collection {
-			raw, err := EncodeQuantum(q)
+			raw, err := AppendQuantumBinary(buf[:0], q)
 			if err != nil {
 				return fmt.Errorf("core: fingerprint collection: %w", err)
 			}
+			buf = raw
 			w(string(raw))
 		}
 	}

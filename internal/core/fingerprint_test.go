@@ -148,7 +148,9 @@ func TestFingerprintGolden(t *testing.T) {
 	if info == nil {
 		t.Fatal("golden plan sink not fingerprinted")
 	}
-	const golden = "3fd7e435934e1260a86772041368dcede1bfc35d7a6c295d79edd4d90085230d"
+	// Re-pinned when collection content-hashing moved from the tagged-JSON
+	// codec to the binary codec (same canonicalization rules, new encoding).
+	const golden = "235ead22fd71400c1363b4ca46dcbcd181089f61d4d217dfaa5590c3afb95c2b"
 	if info.Hash != golden {
 		t.Errorf("golden fingerprint drifted:\n got %s\nwant %s", info.Hash, golden)
 	}

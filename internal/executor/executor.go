@@ -45,9 +45,10 @@ type Executor struct {
 
 // ResultCache is the cross-job result cache's population interface
 // (implemented by rescache.Cache). StoreResult reports the entry's
-// estimated bytes and whether it was admitted.
+// estimated bytes and whether it was admitted; ctx carries the trace span
+// under which cache-internal activity (e.g. spill demotions) is recorded.
 type ResultCache interface {
-	StoreResult(co *core.CacheOut, quanta []any) (int64, bool)
+	StoreResult(ctx context.Context, co *core.CacheOut, quanta []any) (int64, bool)
 }
 
 // Result is the outcome of a plan execution.
@@ -229,7 +230,7 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 				}
 				if ex.Cache != nil {
 					if co := ep.CacheOuts[op]; co != nil {
-						ex.storeCacheOut(parent, op, co, ch)
+						ex.storeCacheOut(ctx, parent, op, co, ch)
 					}
 				}
 			}
@@ -322,15 +323,16 @@ func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) 
 }
 
 // storeCacheOut publishes one marked, already-materialized stage output to
-// the cross-job result cache, recording a cache-store span under sp.
-func (ex *Executor) storeCacheOut(sp *trace.Span, op *core.Operator, co *core.CacheOut, ch *core.Channel) {
+// the cross-job result cache, recording a cache-store span under sp. The
+// span is opened before the store so cache-internal spans (spill demotions
+// making room for the new entry) nest under it.
+func (ex *Executor) storeCacheOut(ctx context.Context, sp *trace.Span, op *core.Operator, co *core.CacheOut, ch *core.Channel) {
 	quanta, err := channelQuanta(ch)
 	if err != nil {
 		return // platform-native payloads that cannot be materialized are not cacheable
 	}
-	start := time.Now()
-	bytes, ok := ex.Cache.StoreResult(co, quanta)
-	stSp := sp.AddTimed(trace.KindCacheStore, "cache-store:"+shortFingerprint(co.Fingerprint), start, time.Now())
+	stSp := sp.Start(trace.KindCacheStore, "cache-store:"+shortFingerprint(co.Fingerprint))
+	bytes, ok := ex.Cache.StoreResult(trace.NewContext(ctx, stSp), co, quanta)
 	stSp.SetAttr("fingerprint", co.Fingerprint)
 	stSp.SetAttr("operator", op.String())
 	stSp.SetInt("quanta", int64(len(quanta)))
@@ -339,6 +341,7 @@ func (ex *Executor) storeCacheOut(sp *trace.Span, op *core.Operator, co *core.Ca
 	if !ok {
 		stSp.SetAttr("rejected", "true")
 	}
+	stSp.End()
 }
 
 func shortFingerprint(fp string) string {

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rheem/internal/core"
+)
+
+// Codec measures the data-movement serialization hot path: the legacy
+// tagged-JSON codec against the binary quantum codec, full encode+decode
+// round trips over a fixed mixed workload of nested quanta (records, KVs,
+// groups, strings, vectors). The note records the speedup and the wire size
+// per quantum, so a recorded run (BENCH_pr4.json) carries the delta.
+func Codec(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	quanta := codecWorkload(opts.n(20000))
+
+	var jsonBytes int64
+	jsonMs, err := timed(func() error {
+		for _, q := range quanta {
+			line, err := core.EncodeQuantum(q)
+			if err != nil {
+				return err
+			}
+			jsonBytes += int64(len(line))
+			if _, err := core.DecodeQuantum(line); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("codec json: %w", err)
+	}
+
+	var binBytes int64
+	var buf []byte
+	binMs, err := timed(func() error {
+		for _, q := range quanta {
+			var err error
+			buf, err = core.AppendQuantumBinary(buf[:0], q)
+			if err != nil {
+				return err
+			}
+			binBytes += int64(len(buf))
+			if _, err := core.DecodeQuantumBinary(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("codec binary: %w", err)
+	}
+
+	n := float64(len(quanta))
+	speedup := jsonMs / binMs
+	return []Row{
+		{Figure: "codec", Config: "encode+decode", System: "tagged JSON", Ms: jsonMs,
+			Note: fmt.Sprintf("%.0f B/quantum", float64(jsonBytes)/n)},
+		{Figure: "codec", Config: "encode+decode", System: "binary frames", Ms: binMs,
+			Note: fmt.Sprintf("%.0f B/quantum, %.1fx faster", float64(binBytes)/n, speedup)},
+	}, nil
+}
+
+// codecWorkload builds the deterministic quantum mix both codecs are timed
+// on: the shapes real shuffle and cache traffic carries.
+func codecWorkload(n int) []any {
+	r := rand.New(rand.NewSource(11))
+	out := make([]any, n)
+	for i := range out {
+		switch i % 5 {
+		case 0:
+			out[i] = core.KV{Key: fmt.Sprintf("word%d", r.Intn(1000)), Value: int64(r.Intn(100))}
+		case 1:
+			out[i] = core.Record{int64(i), fmt.Sprintf("name-%d", r.Intn(500)), r.Float64() * 100, r.Intn(2) == 0}
+		case 2:
+			vec := make([]float64, 8)
+			for j := range vec {
+				vec[j] = r.NormFloat64()
+			}
+			out[i] = vec
+		case 3:
+			out[i] = core.Group{Key: int64(r.Intn(50)), Values: []any{int64(i), fmt.Sprintf("v%d", i)}}
+		default:
+			out[i] = core.Edge{Src: r.Int63n(10000), Dst: r.Int63n(10000)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package driverutil
+
+import (
+	"rheem/internal/core"
+	"rheem/internal/storage/dfs"
+)
+
+// DFS-resident encoded quanta, the at-rest form of cross-platform data
+// movement through the cluster file system (spark shuffle partitions, flink
+// exchanges, streams spills). Files are written in the framed binary format
+// — the core.BinaryQuantaMagic header, then one length-prefixed binary
+// quantum per frame — with per-block frame offsets so parallel engines can
+// read block splits independently. Readers fall back to the legacy
+// one-JSON-document-per-line format for files written before the binary
+// codec existed.
+
+// WriteDFSQuanta encodes quanta into a framed binary DFS file. The name may
+// carry the dfs:// scheme. A mid-write encode or replication error aborts
+// the file (no metadata, blocks removed) rather than leaving a torn object.
+func WriteDFSQuanta(store *dfs.Store, name string, data []any) error {
+	fw, err := store.CreateFrames(dfs.TrimScheme(name))
+	if err != nil {
+		return err
+	}
+	if err := fw.WriteRaw([]byte(core.BinaryQuantaMagic)); err != nil {
+		fw.Abort()
+		return err
+	}
+	var buf []byte
+	for _, q := range data {
+		if buf, err = core.AppendQuantumBinary(buf[:0], q); err != nil {
+			fw.Abort()
+			return err
+		}
+		if err := fw.WriteFrame(buf); err != nil {
+			fw.Abort()
+			return err
+		}
+	}
+	return fw.Close()
+}
+
+// ReadDFSQuanta decodes a whole DFS quanta file, auto-detecting framed
+// binary vs legacy JSON lines. The path may carry the dfs:// scheme.
+func ReadDFSQuanta(store *dfs.Store, path string) ([]any, error) {
+	r, err := store.Open(dfs.TrimScheme(path))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return core.ReadQuantaStream(r)
+}
+
+// ReadDFSQuantaBlock decodes the quanta one block split owns: binary frames
+// for framed files, JSON lines otherwise. Concatenating all blocks' results
+// yields exactly the file's quanta, each once.
+func ReadDFSQuantaBlock(store *dfs.Store, name string, index int) ([]any, error) {
+	name = dfs.TrimScheme(name)
+	if store.IsFramed(name) {
+		frames, err := store.ReadBlockFrames(name, index)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(frames))
+		for i, f := range frames {
+			if out[i], err = core.DecodeQuantumBinary(f); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	lines, err := store.ReadBlockLines(name, index)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, len(lines))
+	for i, l := range lines {
+		if out[i], err = core.DecodeQuantum([]byte(l)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -234,17 +234,9 @@ func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 		if e.driver.DFS == nil {
 			return nil, fmt.Errorf("flink: no DFS configured")
 		}
-		lines, err := e.driver.DFS.ReadLines(dfs.TrimScheme(ch.Payload.(string)))
+		data, err := driverutil.ReadDFSQuanta(e.driver.DFS, ch.Payload.(string))
 		if err != nil {
 			return nil, err
-		}
-		data := make([]any, len(lines))
-		for i, l := range lines {
-			q, err := core.DecodeQuantum([]byte(l))
-			if err != nil {
-				return nil, err
-			}
-			data[i] = q
 		}
 		return sliceFlow(partition(data, e.width()).Parts), nil
 	default:

@@ -155,18 +155,9 @@ func (d *Driver) Conversions() []*core.Conversion {
 			Name: "flink.dfs-load", From: "dfs", To: "dataset",
 			FixedCostMs: 7, PerQuantumMs: 0.002,
 			Convert: func(in *core.Channel) (*core.Channel, error) {
-				name := dfs.TrimScheme(in.Payload.(string))
-				lines, err := d.DFS.ReadLines(name)
+				data, err := driverutil.ReadDFSQuanta(d.DFS, in.Payload.(string))
 				if err != nil {
 					return nil, err
-				}
-				data := make([]any, len(lines))
-				for i, l := range lines {
-					q, err := core.DecodeQuantum([]byte(l))
-					if err != nil {
-						return nil, err
-					}
-					data[i] = q
 				}
 				return core.NewChannel(DataSetChannel, partition(data, d.Conf.Parallelism), int64(len(data))), nil
 			},

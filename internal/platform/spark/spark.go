@@ -687,23 +687,17 @@ func (d *Driver) loadDFSQuanta(path string) (*RDD, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each block split is decoded by its own worker: binary frames for
+	// framed files, legacy JSON lines for files written before the binary
+	// codec existed.
 	parts := make([][]any, len(blocks))
 	var firstErr error
 	var mu sync.Mutex
 	pool(len(blocks), d.Conf.Parallelism, func(i int) {
-		lines, err := d.DFS.ReadBlockLines(name, i)
+		part, err := driverutil.ReadDFSQuantaBlock(d.DFS, name, i)
 		if err == nil {
-			part := make([]any, len(lines))
-			for j, l := range lines {
-				part[j], err = core.DecodeQuantum([]byte(l))
-				if err != nil {
-					break
-				}
-			}
-			if err == nil {
-				parts[i] = part
-				return
-			}
+			parts[i] = part
+			return
 		}
 		mu.Lock()
 		if firstErr == nil {
@@ -718,15 +712,7 @@ func (d *Driver) loadDFSQuanta(path string) (*RDD, error) {
 }
 
 func writeDFSQuanta(store *dfs.Store, name string, data []any) error {
-	lines := make([]string, len(data))
-	for i, q := range data {
-		raw, err := core.EncodeQuantum(q)
-		if err != nil {
-			return err
-		}
-		lines[i] = string(raw)
-	}
-	return store.WriteLines(dfs.TrimScheme(name), lines)
+	return driverutil.WriteDFSQuanta(store, name, data)
 }
 
 func maxInt(a, b int) int {

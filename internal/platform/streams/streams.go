@@ -59,7 +59,7 @@ func (d *Driver) Conversions() []*core.Conversion {
 				if err != nil {
 					return nil, err
 				}
-				path, err := tempFile(d.TempDir, "rheem-spill-*.jsonl")
+				path, err := tempFile(d.TempDir, "rheem-spill-*.rqb")
 				if err != nil {
 					return nil, err
 				}
@@ -91,7 +91,7 @@ func (d *Driver) Conversions() []*core.Conversion {
 					if err != nil {
 						return nil, err
 					}
-					name := fmt.Sprintf("spill/%p.jsonl", in)
+					name := fmt.Sprintf("spill/%p.rqb", in)
 					if err := WriteDFSQuanta(d.DFS, name, data); err != nil {
 						return nil, err
 					}
@@ -118,35 +118,16 @@ func (d *Driver) Conversions() []*core.Conversion {
 // declared here (the first driver that can produce it) but platform-neutral.
 var DFSChannel = core.ChannelDescriptor{Name: "dfs", Reusable: true, AtRest: true}
 
-// ReadDFSQuanta decodes a DFS file of encoded quanta (one per line), as
-// written by the dfs-put conversions. The path may carry the dfs:// scheme.
+// ReadDFSQuanta decodes a DFS file of encoded quanta as written by the
+// dfs-put conversions: framed binary, or one JSON document per line for
+// files predating the binary codec. The path may carry the dfs:// scheme.
 func ReadDFSQuanta(store *dfs.Store, path string) ([]any, error) {
-	lines, err := store.ReadLines(dfs.TrimScheme(path))
-	if err != nil {
-		return nil, err
-	}
-	data := make([]any, len(lines))
-	for i, l := range lines {
-		q, err := core.DecodeQuantum([]byte(l))
-		if err != nil {
-			return nil, err
-		}
-		data[i] = q
-	}
-	return data, nil
+	return driverutil.ReadDFSQuanta(store, path)
 }
 
-// WriteDFSQuanta encodes quanta into a DFS file, one JSON line per quantum.
+// WriteDFSQuanta encodes quanta into a framed binary DFS file.
 func WriteDFSQuanta(store *dfs.Store, name string, data []any) error {
-	lines := make([]string, len(data))
-	for i, q := range data {
-		raw, err := core.EncodeQuantum(q)
-		if err != nil {
-			return err
-		}
-		lines[i] = string(raw)
-	}
-	return store.WriteLines(dfs.TrimScheme(name), lines)
+	return driverutil.WriteDFSQuanta(store, name, data)
 }
 
 // RegisterMappings implements core.Driver.

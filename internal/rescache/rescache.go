@@ -8,6 +8,11 @@
 // entry's size), supports TTL expiry and explicit invalidation by source
 // dataset, and is safe for concurrent jobs: single-flight claims ensure N
 // identical concurrent jobs compute a missing result exactly once.
+//
+// With a spill store configured (Options.SpillStore + SpillMaxBytes), the
+// cache is two-tiered: capacity eviction demotes entries to a DFS-backed
+// disk tier instead of dropping them, and probes that miss RAM transparently
+// reload from disk (see spill.go).
 package rescache
 
 import (
@@ -16,7 +21,9 @@ import (
 	"time"
 
 	"rheem/internal/core"
+	"rheem/internal/storage/dfs"
 	"rheem/internal/telemetry"
+	"rheem/internal/trace"
 )
 
 // Options configure a Cache.
@@ -29,6 +36,13 @@ type Options struct {
 	// MinCostMs is the minimum estimated compute cost (milliseconds) a
 	// subtree must have to be worth caching; cheaper results are recomputed.
 	MinCostMs float64
+	// SpillStore, when set together with a positive SpillMaxBytes, enables
+	// the disk tier: capacity-evicted entries are demoted to this DFS store
+	// (under SpillPrefix) instead of dropped. An existing store is
+	// re-indexed at startup.
+	SpillStore *dfs.Store
+	// SpillMaxBytes bounds the disk tier. Zero disables spilling.
+	SpillMaxBytes int64
 	// Metrics receives rheem_cache_* counters and gauges (nil-safe).
 	Metrics *telemetry.Registry
 	// now overrides time.Now in tests.
@@ -72,19 +86,30 @@ type EntryStats struct {
 	Sources     []core.SourceRef `json:"sources,omitempty"`
 	StoredAt    time.Time        `json:"stored_at"`
 	LastUsedAt  time.Time        `json:"last_used_at"`
+	// Tier is "disk" for spilled entries and empty for RAM-resident ones.
+	Tier string `json:"tier,omitempty"`
 }
 
 // Stats is the cache-wide summary for the stats endpoint.
 type Stats struct {
-	Entries   int          `json:"entries"`
-	Bytes     int64        `json:"bytes"`
-	MaxBytes  int64        `json:"max_bytes"`
-	TTLMs     int64        `json:"ttl_ms"`
-	Hits      int64        `json:"hits"`
-	Misses    int64        `json:"misses"`
-	Stores    int64        `json:"stores"`
-	Evictions int64        `json:"evictions"`
-	Details   []EntryStats `json:"details,omitempty"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	TTLMs     int64 `json:"ttl_ms"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	// Disk (spill) tier. SpillMaxBytes is zero when spilling is disabled.
+	SpillEntries  int   `json:"spill_entries"`
+	SpillBytes    int64 `json:"spill_bytes"`
+	SpillMaxBytes int64 `json:"spill_max_bytes"`
+	Spills        int64 `json:"spills"`
+	SpillReloads  int64 `json:"spill_reloads"`
+	SpillDrops    int64 `json:"spill_drops"`
+	SpillErrors   int64 `json:"spill_errors"`
+
+	Details []EntryStats `json:"details,omitempty"`
 }
 
 // Cache is the cross-job result cache. The zero value is not usable; use New.
@@ -94,13 +119,19 @@ type Cache struct {
 	mu       sync.Mutex
 	entries  map[string]*entry
 	bytes    int64
-	versions map[string]uint64 // source dataset name -> current version
+	spilled  map[string]*spillEntry // disk tier index (fingerprint -> file)
+	versions map[string]uint64      // source dataset name -> current version
 	flights  map[string]*flight
 
 	hits, misses, stores, evictions int64
 
-	mHits, mMisses, mStores, mEvictions *telemetry.Counter
-	gBytes, gEntries                    *telemetry.Gauge
+	spillBytes                                    int64
+	spills, spillReloads, spillDrops, spillErrors int64
+
+	mHits, mMisses, mStores, mEvictions          *telemetry.Counter
+	mSpills, mSpillReloads, mSpillDrops          *telemetry.Counter
+	mSpillErrors                                 *telemetry.Counter
+	gBytes, gEntries, gSpillBytes, gSpillEntries *telemetry.Gauge
 }
 
 // flight is a single-flight claim on a fingerprint: the first job to miss
@@ -120,6 +151,7 @@ func New(opts Options) *Cache {
 	c := &Cache{
 		opts:     opts,
 		entries:  map[string]*entry{},
+		spilled:  map[string]*spillEntry{},
 		versions: map[string]uint64{},
 		flights:  map[string]*flight{},
 	}
@@ -130,12 +162,27 @@ func New(opts Options) *Cache {
 	m.Help("rheem_cache_evictions_total", "Cache entries evicted (capacity or TTL).")
 	m.Help("rheem_cache_bytes", "Estimated bytes of cached payloads.")
 	m.Help("rheem_cache_entries", "Live cache entries.")
+	m.Help("rheem_cache_spills_total", "Cache entries demoted to the disk tier.")
+	m.Help("rheem_cache_spill_reloads_total", "Cache probes served from the disk tier.")
+	m.Help("rheem_cache_spill_drops_total", "Disk-tier entries dropped (spill bound or TTL).")
+	m.Help("rheem_cache_spill_errors_total", "Spill write/read failures.")
+	m.Help("rheem_cache_spill_bytes", "Bytes of payloads resident in the disk tier.")
+	m.Help("rheem_cache_spill_entries", "Live disk-tier entries.")
 	c.mHits = m.Counter("rheem_cache_hits_total")
 	c.mMisses = m.Counter("rheem_cache_misses_total")
 	c.mStores = m.Counter("rheem_cache_stores_total")
 	c.mEvictions = m.Counter("rheem_cache_evictions_total")
+	c.mSpills = m.Counter("rheem_cache_spills_total")
+	c.mSpillReloads = m.Counter("rheem_cache_spill_reloads_total")
+	c.mSpillDrops = m.Counter("rheem_cache_spill_drops_total")
+	c.mSpillErrors = m.Counter("rheem_cache_spill_errors_total")
 	c.gBytes = m.Gauge("rheem_cache_bytes")
 	c.gEntries = m.Gauge("rheem_cache_entries")
+	c.gSpillBytes = m.Gauge("rheem_cache_spill_bytes")
+	c.gSpillEntries = m.Gauge("rheem_cache_spill_entries")
+	if c.spillOn() {
+		c.loadSpillIndex()
+	}
 	return c
 }
 
@@ -152,21 +199,32 @@ func (c *Cache) SourceVersion(name string) uint64 {
 }
 
 // Hit is a successful probe: the cached quanta plus the observed (exact)
-// cardinality and estimated saved cost.
+// cardinality and estimated saved cost. Reloaded marks a hit served from
+// the disk (spill) tier rather than RAM.
 type Hit struct {
-	Quanta []any
-	CostMs float64
-	Bytes  int64
+	Quanta   []any
+	CostMs   float64
+	Bytes    int64
+	Reloaded bool
 }
 
 // Get probes the cache. A hit bumps the entry's use count (strengthening it
 // against eviction) and returns a copy-free view of the stored quanta —
-// callers must not mutate the slice.
-func (c *Cache) Get(fp string) (Hit, bool) {
+// callers must not mutate the slice. A probe that misses RAM but finds the
+// fingerprint in the disk tier reloads it transparently.
+func (c *Cache) Get(fp string) (Hit, bool) { return c.get(fp, nil) }
+
+// get is Get with a parent span for spill/reload instrumentation.
+func (c *Cache) get(fp string, parent *trace.Span) (Hit, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
 	e := c.entries[fp]
+	reloaded := false
+	if e == nil && c.spillOn() {
+		e = c.reloadLocked(fp, parent)
+		reloaded = e != nil
+	}
 	if e == nil {
 		c.misses++
 		c.mMisses.Inc()
@@ -176,7 +234,8 @@ func (c *Cache) Get(fp string) (Hit, bool) {
 	e.lastUse = c.opts.now()
 	c.hits++
 	c.mHits.Inc()
-	return Hit{Quanta: e.quanta, CostMs: e.costMs, Bytes: e.bytes}, true
+	c.publishGaugesLocked()
+	return Hit{Quanta: e.quanta, CostMs: e.costMs, Bytes: e.bytes, Reloaded: reloaded}, true
 }
 
 // Put stores a materialized result. Entries whose estimated size alone
@@ -185,6 +244,11 @@ func (c *Cache) Get(fp string) (Hit, bool) {
 // already-present fingerprint refreshes the payload and TTL but keeps the
 // accumulated hit count.
 func (c *Cache) Put(fp string, quanta []any, costMs float64, bytes int64, sources []core.SourceRef) bool {
+	return c.put(fp, quanta, costMs, bytes, sources, nil)
+}
+
+// put is Put with a parent span for spill instrumentation.
+func (c *Cache) put(fp string, quanta []any, costMs float64, bytes int64, sources []core.SourceRef, parent *trace.Span) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
@@ -197,6 +261,12 @@ func (c *Cache) Put(fp string, quanta []any, costMs float64, bytes int64, source
 		hits = old.hits
 		c.removeLocked(old)
 	}
+	if c.spillOn() {
+		// A fresher RAM store supersedes any stale disk copy.
+		if se := c.spilled[fp]; se != nil {
+			c.dropSpillLocked(se, true)
+		}
+	}
 	e := &entry{
 		fp: fp, quanta: quanta, bytes: bytes, costMs: costMs, hits: hits,
 		sources: sources, stored: now, lastUse: now,
@@ -205,14 +275,16 @@ func (c *Cache) Put(fp string, quanta []any, costMs float64, bytes int64, source
 	c.bytes += bytes
 	c.stores++
 	c.mStores.Inc()
-	c.evictLocked()
+	c.evictLocked(parent)
 	c.publishGaugesLocked()
 	return c.entries[fp] == e
 }
 
 // evictLocked drops lowest-benefit entries until the byte bound holds. A
 // just-inserted entry competes on equal terms and may itself be the victim.
-func (c *Cache) evictLocked() {
+// With the spill tier enabled, each victim is demoted to disk before its
+// RAM copy is released.
+func (c *Cache) evictLocked(parent *trace.Span) {
 	if c.opts.MaxBytes <= 0 {
 		return
 	}
@@ -224,13 +296,17 @@ func (c *Cache) evictLocked() {
 				victim = e
 			}
 		}
+		if c.spillOn() {
+			c.spillLocked(victim, parent)
+		}
 		c.removeLocked(victim)
 		c.evictions++
 		c.mEvictions.Inc()
 	}
 }
 
-// sweepLocked lazily expires TTL-exceeded entries.
+// sweepLocked lazily expires TTL-exceeded entries in both tiers. Expiry is
+// a real drop — stale RAM entries are not demoted.
 func (c *Cache) sweepLocked() {
 	if c.opts.TTL <= 0 {
 		return
@@ -241,6 +317,13 @@ func (c *Cache) sweepLocked() {
 			c.removeLocked(e)
 			c.evictions++
 			c.mEvictions.Inc()
+		}
+	}
+	for _, se := range c.spilled {
+		if se.stored.Before(cutoff) {
+			c.dropSpillLocked(se, true)
+			c.spillDrops++
+			c.mSpillDrops.Inc()
 		}
 	}
 	c.publishGaugesLocked()
@@ -254,36 +337,49 @@ func (c *Cache) removeLocked(e *entry) {
 func (c *Cache) publishGaugesLocked() {
 	c.gBytes.Set(float64(c.bytes))
 	c.gEntries.Set(float64(len(c.entries)))
+	c.gSpillBytes.Set(float64(c.spillBytes))
+	c.gSpillEntries.Set(float64(len(c.spilled)))
 }
 
-// Delete drops one entry by fingerprint, reporting whether it existed.
+// Delete drops one entry by fingerprint — from either tier — reporting
+// whether it existed.
 func (c *Cache) Delete(fp string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.entries[fp]
-	if e == nil {
-		return false
+	found := false
+	if e := c.entries[fp]; e != nil {
+		c.removeLocked(e)
+		found = true
 	}
-	c.removeLocked(e)
-	c.publishGaugesLocked()
-	return true
+	if se := c.spilled[fp]; se != nil {
+		c.dropSpillLocked(se, true)
+		found = true
+	}
+	if found {
+		c.publishGaugesLocked()
+	}
+	return found
 }
 
-// Clear drops every entry (versions and counters are retained).
+// Clear drops every entry in both tiers (versions and counters are
+// retained). Spill files are deleted from the store.
 func (c *Cache) Clear() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.entries)
+	n := len(c.entries) + len(c.spilled)
 	c.entries = map[string]*entry{}
 	c.bytes = 0
+	for _, se := range c.spilled {
+		c.dropSpillLocked(se, true)
+	}
 	c.publishGaugesLocked()
 	return n
 }
 
 // InvalidateSource bumps the version of a named source dataset and drops
-// every entry whose subtree read it. Future fingerprints of plans reading
-// the dataset change, so stale entries cannot be hit even if a concurrent
-// store races the invalidation.
+// every entry — in either tier — whose subtree read it. Future fingerprints
+// of plans reading the dataset change, so stale entries cannot be hit even
+// if a concurrent store races the invalidation.
 func (c *Cache) InvalidateSource(name string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -298,12 +394,22 @@ func (c *Cache) InvalidateSource(name string) int {
 			}
 		}
 	}
+	for _, se := range c.spilled {
+		for _, s := range se.sources {
+			if s.Name == name {
+				c.dropSpillLocked(se, true)
+				n++
+				break
+			}
+		}
+	}
 	c.publishGaugesLocked()
 	return n
 }
 
 // Stats snapshots the cache state. Per-entry details are sorted by
-// descending benefit (the eviction survivorship order).
+// descending benefit (the eviction survivorship order); disk-tier entries
+// carry Tier "disk".
 func (c *Cache) Stats(details bool) Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -312,6 +418,10 @@ func (c *Cache) Stats(details bool) Stats {
 		Entries: len(c.entries), Bytes: c.bytes,
 		MaxBytes: c.opts.MaxBytes, TTLMs: c.opts.TTL.Milliseconds(),
 		Hits: c.hits, Misses: c.misses, Stores: c.stores, Evictions: c.evictions,
+		SpillEntries: len(c.spilled), SpillBytes: c.spillBytes,
+		SpillMaxBytes: c.opts.SpillMaxBytes,
+		Spills:        c.spills, SpillReloads: c.spillReloads,
+		SpillDrops: c.spillDrops, SpillErrors: c.spillErrors,
 	}
 	if details {
 		for _, e := range c.entries {
@@ -319,6 +429,13 @@ func (c *Cache) Stats(details bool) Stats {
 				Fingerprint: e.fp, Quanta: len(e.quanta), Bytes: e.bytes,
 				CostMs: e.costMs, Hits: e.hits, Sources: e.sources,
 				StoredAt: e.stored, LastUsedAt: e.lastUse,
+			})
+		}
+		for _, se := range c.spilled {
+			st.Details = append(st.Details, EntryStats{
+				Fingerprint: se.fp, Quanta: se.quanta, Bytes: se.bytes,
+				CostMs: se.costMs, Hits: se.hits, Sources: se.sources,
+				StoredAt: se.stored, LastUsedAt: se.lastUse, Tier: "disk",
 			})
 		}
 		sort.Slice(st.Details, func(i, j int) bool {
@@ -370,9 +487,9 @@ func (c *Cache) Release(fp string) {
 }
 
 // EstimateBytes estimates the in-cache size of a materialized result by
-// encoding a bounded sample through the quantum codec and extrapolating.
-// Un-encodable quanta (platform-native handles etc.) yield ok=false: the
-// result cannot be safely retained beyond its producing job.
+// encoding a bounded sample through the binary quantum codec and
+// extrapolating. Un-encodable quanta (platform-native handles etc.) yield
+// ok=false: the result cannot be safely retained beyond its producing job.
 func EstimateBytes(quanta []any) (int64, bool) {
 	const sampleCap = 64
 	n := len(quanta)
@@ -385,16 +502,18 @@ func EstimateBytes(quanta []any) (int64, bool) {
 	}
 	// Spread the sample across the slice so a heterogeneous tail is seen.
 	var total int64
+	var buf []byte
 	step := n / sample
 	if step < 1 {
 		step = 1
 	}
 	count := 0
 	for i := 0; i < n && count < sample; i += step {
-		raw, err := core.EncodeQuantum(quanta[i])
+		raw, err := core.AppendQuantumBinary(buf[:0], quanta[i])
 		if err != nil {
 			return 0, false
 		}
+		buf = raw
 		total += int64(len(raw))
 		count++
 	}

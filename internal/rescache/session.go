@@ -113,7 +113,7 @@ func (s *Session) substitute(probe *trace.Span) {
 			continue
 		}
 		s.probed++
-		hit, ok := s.cache.Get(info.Hash)
+		hit, ok := s.cache.get(info.Hash, probe)
 		if !ok {
 			continue
 		}
@@ -198,6 +198,9 @@ func (s *Session) apply(op *core.Operator, info *core.FPInfo, hit Hit, probe *tr
 	sp.SetInt("quanta", int64(len(quanta)))
 	sp.SetFloat("saved_cost_ms", hit.CostMs)
 	sp.SetInt("pruned_ops", int64(len(removed)))
+	if hit.Reloaded {
+		sp.SetAttr("tier", "disk")
+	}
 	sp.End()
 	return removed
 }
@@ -255,10 +258,11 @@ func shortFP(fp string) string {
 }
 
 // StoreResult materializes one marked stage output into the cache,
-// estimating its footprint through the quantum codec. It returns the
+// estimating its footprint through the binary quantum codec. It returns the
 // estimated bytes and whether the entry was admitted; results with
-// un-encodable quanta are not cached.
-func (c *Cache) StoreResult(co *core.CacheOut, quanta []any) (int64, bool) {
+// un-encodable quanta are not cached. Spill activity triggered by the store
+// (demotions making room) is traced under the span carried by ctx.
+func (c *Cache) StoreResult(ctx context.Context, co *core.CacheOut, quanta []any) (int64, bool) {
 	if c == nil || co == nil {
 		return 0, false
 	}
@@ -266,5 +270,5 @@ func (c *Cache) StoreResult(co *core.CacheOut, quanta []any) (int64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return bytes, c.Put(co.Fingerprint, quanta, co.CostMs, bytes, co.Sources)
+	return bytes, c.put(co.Fingerprint, quanta, co.CostMs, bytes, co.Sources, trace.FromContext(ctx))
 }

@@ -1,0 +1,284 @@
+package rescache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rheem/internal/core"
+	"rheem/internal/trace"
+)
+
+// The spill tier: a second, disk-bounded cache level under the RAM tier.
+// When capacity eviction would drop an entry, the cache instead demotes it
+// to the DFS — the quanta serialized through the binary codec behind a
+// small JSON metadata frame — and a later probe that misses RAM but hits
+// the disk index transparently reloads the entry (re-admitting it to RAM
+// when it fits). The tier is bounded by its own byte budget; beyond it,
+// lowest-benefit spilled entries are dropped for real. TTL expiry applies
+// to both tiers from the entry's original store time: demotion extends
+// nothing.
+//
+// Spill files live under one DFS prefix and carry their own metadata, so a
+// restarted server pointed at the same spill store re-indexes the tier and
+// serves its previous cold set without recomputation (fingerprints are
+// restart-stable by construction).
+
+// SpillPrefix is the DFS name prefix under which spill files are written.
+const SpillPrefix = "rescache-spill/"
+
+// spillEntry is the in-RAM index record of one demoted entry.
+type spillEntry struct {
+	fp      string
+	bytes   int64 // on-disk payload bytes (single-replica)
+	costMs  float64
+	hits    int64
+	quanta  int
+	sources []core.SourceRef
+	stored  time.Time
+	lastUse time.Time
+}
+
+func (e *spillEntry) benefit() float64 {
+	b := e.bytes
+	if b < 1 {
+		b = 1
+	}
+	return e.costMs * float64(e.hits+1) / float64(b)
+}
+
+// spillMeta is the JSON metadata frame heading every spill file.
+type spillMeta struct {
+	Fingerprint string           `json:"fingerprint"`
+	CostMs      float64          `json:"cost_ms"`
+	Hits        int64            `json:"hits"`
+	Quanta      int              `json:"quanta"`
+	Sources     []core.SourceRef `json:"sources,omitempty"`
+	Stored      time.Time        `json:"stored"`
+}
+
+func (c *Cache) spillOn() bool {
+	return c.opts.SpillStore != nil && c.opts.SpillMaxBytes > 0
+}
+
+func spillFile(fp string) string { return SpillPrefix + fp }
+
+// spillLocked demotes one RAM entry to the disk tier, emitting a
+// cache-spill span under parent. Failures (un-encodable quanta, disk
+// errors) are counted and the entry is dropped as if spilling were off.
+func (c *Cache) spillLocked(e *entry, parent *trace.Span) {
+	start := c.opts.now()
+	sp := parent.Start(trace.KindCacheSpill, "cache-spill:"+shortFP(e.fp))
+	sp.SetAttr("fingerprint", e.fp)
+	sp.SetInt("quanta", int64(len(e.quanta)))
+	written, err := c.writeSpillFile(e)
+	if err != nil {
+		c.spillErrors++
+		c.mSpillErrors.Inc()
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return
+	}
+	if old := c.spilled[e.fp]; old != nil {
+		c.dropSpillLocked(old, false)
+	}
+	se := &spillEntry{
+		fp: e.fp, bytes: written, costMs: e.costMs, hits: e.hits,
+		quanta: len(e.quanta), sources: e.sources, stored: e.stored, lastUse: e.lastUse,
+	}
+	c.spilled[e.fp] = se
+	c.spillBytes += written
+	c.spills++
+	c.mSpills.Inc()
+	sp.SetInt("bytes", written)
+	sp.SetFloat("spill_ms", float64(c.opts.now().Sub(start).Microseconds())/1000)
+	sp.End()
+	c.enforceSpillBoundLocked()
+}
+
+// writeSpillFile serializes one entry: a JSON metadata frame, then one
+// binary-encoded quantum per frame.
+func (c *Cache) writeSpillFile(e *entry) (int64, error) {
+	fw, err := c.opts.SpillStore.CreateFrames(spillFile(e.fp))
+	if err != nil {
+		return 0, err
+	}
+	meta, err := json.Marshal(spillMeta{
+		Fingerprint: e.fp, CostMs: e.costMs, Hits: e.hits,
+		Quanta: len(e.quanta), Sources: e.sources, Stored: e.stored,
+	})
+	if err != nil {
+		fw.Abort()
+		return 0, err
+	}
+	if err := fw.WriteFrame(meta); err != nil {
+		fw.Abort()
+		return 0, err
+	}
+	var buf []byte
+	written := int64(len(meta))
+	for _, q := range e.quanta {
+		if buf, err = core.AppendQuantumBinary(buf[:0], q); err != nil {
+			fw.Abort()
+			return 0, err
+		}
+		if err := fw.WriteFrame(buf); err != nil {
+			fw.Abort()
+			return 0, err
+		}
+		written += int64(len(buf))
+	}
+	if err := fw.Close(); err != nil {
+		return 0, err
+	}
+	return written, nil
+}
+
+// reloadLocked serves a RAM miss from the disk tier: the spill file is read
+// back through the binary codec and the entry is re-admitted to RAM when it
+// fits (its disk copy released); an entry larger than the RAM bound alone
+// stays disk-resident and is served from there. Returns nil when fp is not
+// spilled or the reload failed (the probe then counts as a miss).
+func (c *Cache) reloadLocked(fp string, parent *trace.Span) *entry {
+	se := c.spilled[fp]
+	if se == nil {
+		return nil
+	}
+	start := c.opts.now()
+	sp := parent.Start(trace.KindCacheReload, "cache-reload:"+shortFP(fp))
+	sp.SetAttr("fingerprint", fp)
+	quanta, err := c.readSpillFile(fp)
+	if err != nil {
+		// The file is unreadable; drop the index entry so later probes
+		// don't keep retrying it.
+		c.spillErrors++
+		c.mSpillErrors.Inc()
+		c.dropSpillLocked(se, true)
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil
+	}
+	e := &entry{
+		fp: fp, quanta: quanta, bytes: se.bytes, costMs: se.costMs, hits: se.hits,
+		sources: se.sources, stored: se.stored, lastUse: c.opts.now(),
+	}
+	c.spillReloads++
+	c.mSpillReloads.Inc()
+	promote := c.opts.MaxBytes <= 0 || se.bytes <= c.opts.MaxBytes
+	if promote {
+		c.dropSpillLocked(se, true)
+		c.entries[fp] = e
+		c.bytes += e.bytes
+		c.evictLocked(sp)
+	} else {
+		se.lastUse = e.lastUse
+	}
+	sp.SetInt("quanta", int64(len(quanta)))
+	sp.SetInt("bytes", se.bytes)
+	sp.SetAttr("promoted", fmt.Sprint(promote))
+	sp.SetFloat("reload_ms", float64(c.opts.now().Sub(start).Microseconds())/1000)
+	sp.End()
+	return e
+}
+
+func (c *Cache) readSpillFile(fp string) ([]any, error) {
+	frames, err := c.opts.SpillStore.ReadFrames(spillFile(fp))
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("rescache: spill file %s has no metadata frame", shortFP(fp))
+	}
+	quanta := make([]any, len(frames)-1)
+	for i, f := range frames[1:] {
+		if quanta[i], err = core.DecodeQuantumBinary(f); err != nil {
+			return nil, err
+		}
+	}
+	return quanta, nil
+}
+
+// dropSpillLocked removes one disk-tier entry; removeFile also deletes the
+// backing DFS object (false when the caller is about to overwrite it).
+func (c *Cache) dropSpillLocked(se *spillEntry, removeFile bool) {
+	delete(c.spilled, se.fp)
+	c.spillBytes -= se.bytes
+	if removeFile {
+		_ = c.opts.SpillStore.Delete(spillFile(se.fp))
+	}
+}
+
+// enforceSpillBoundLocked drops lowest-benefit spilled entries until the
+// disk budget holds. These are real evictions: the data is gone.
+func (c *Cache) enforceSpillBoundLocked() {
+	for c.spillBytes > c.opts.SpillMaxBytes && len(c.spilled) > 0 {
+		var victim *spillEntry
+		for _, se := range c.spilled {
+			if victim == nil || se.benefit() < victim.benefit() ||
+				(se.benefit() == victim.benefit() && se.lastUse.Before(victim.lastUse)) {
+				victim = se
+			}
+		}
+		c.dropSpillLocked(victim, true)
+		c.spillDrops++
+		c.mSpillDrops.Inc()
+	}
+}
+
+// loadSpillIndex rebuilds the disk-tier index from an existing spill store
+// (server restart with a persistent -cache-spill-dir). Unreadable files are
+// deleted rather than indexed; the disk bound is enforced afterwards.
+func (c *Cache) loadSpillIndex() {
+	for _, name := range c.opts.SpillStore.List() {
+		if !strings.HasPrefix(name, SpillPrefix) {
+			continue
+		}
+		fp := strings.TrimPrefix(name, SpillPrefix)
+		meta, err := c.readSpillMeta(name)
+		if err != nil || meta.Fingerprint != fp {
+			_ = c.opts.SpillStore.Delete(name)
+			continue
+		}
+		size, _, err := c.opts.SpillStore.Stat(name)
+		if err != nil {
+			continue
+		}
+		se := &spillEntry{
+			fp: fp, bytes: size, costMs: meta.CostMs, hits: meta.Hits,
+			quanta: meta.Quanta, sources: meta.Sources, stored: meta.Stored,
+			lastUse: meta.Stored,
+		}
+		c.spilled[fp] = se
+		c.spillBytes += size
+	}
+	c.enforceSpillBoundLocked()
+	c.publishGaugesLocked()
+}
+
+// readSpillMeta reads just the metadata frame — the file's first block is
+// opened lazily, so indexing a large spill file reads only its head.
+func (c *Cache) readSpillMeta(name string) (spillMeta, error) {
+	var meta spillMeta
+	r, err := c.opts.SpillStore.Open(name)
+	if err != nil {
+		return meta, err
+	}
+	defer r.Close()
+	br := bufio.NewReaderSize(r, 4096)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return meta, err
+	}
+	if n > 1<<20 {
+		return meta, fmt.Errorf("rescache: spill metadata frame %d bytes", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return meta, err
+	}
+	return meta, json.Unmarshal(raw, &meta)
+}

@@ -79,12 +79,21 @@ type BlockInfo struct {
 	// EndsNL records whether the block's last byte is a newline; block-split
 	// readers use it to decide first-line ownership.
 	EndsNL bool `json:"ends_nl"`
+	// FrameOff is the offset within the block of the first frame that starts
+	// there (-1: the block is interior to one straddling frame). Only
+	// meaningful for framed files; see framed.go.
+	FrameOff int64 `json:"frame_off,omitempty"`
 }
 
 type fileMeta struct {
 	Name   string      `json:"name"`
 	Size   int64       `json:"size"`
 	Blocks []BlockInfo `json:"blocks"`
+	// Framed marks files written through CreateFrames (length-prefixed
+	// records with per-block offsets) as opposed to newline-delimited text.
+	// Absent from metadata written before framing existed, so old files
+	// keep reading as line files.
+	Framed bool `json:"framed,omitempty"`
 }
 
 // New creates (or reopens) a store rooted at dir.

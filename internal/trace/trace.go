@@ -29,20 +29,22 @@ import (
 // Span kinds emitted by the system. Instrumentation is free to invent new
 // kinds; these constants just keep the emitters consistent.
 const (
-	KindJob        = "job"
-	KindQueueWait  = "queue-wait"
-	KindAttempt    = "attempt"
-	KindOptimize   = "optimize"
-	KindReplan     = "replan"
-	KindWave       = "wave"
-	KindStage      = "stage"
-	KindOperator   = "operator"
-	KindConversion = "channel-conversion"
-	KindRetry      = "retry"
-	KindLoop       = "loop"
-	KindCacheProbe = "cache-probe"
-	KindCacheHit   = "cache-hit"
-	KindCacheStore = "cache-store"
+	KindJob         = "job"
+	KindQueueWait   = "queue-wait"
+	KindAttempt     = "attempt"
+	KindOptimize    = "optimize"
+	KindReplan      = "replan"
+	KindWave        = "wave"
+	KindStage       = "stage"
+	KindOperator    = "operator"
+	KindConversion  = "channel-conversion"
+	KindRetry       = "retry"
+	KindLoop        = "loop"
+	KindCacheProbe  = "cache-probe"
+	KindCacheHit    = "cache-hit"
+	KindCacheStore  = "cache-store"
+	KindCacheSpill  = "cache-spill"
+	KindCacheReload = "cache-reload"
 )
 
 // Attr is one key=value annotation on a span.

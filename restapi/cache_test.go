@@ -14,6 +14,7 @@ import (
 	"rheem/internal/core"
 	"rheem/internal/jobs"
 	"rheem/internal/rescache"
+	"rheem/internal/storage/dfs"
 	"rheem/internal/telemetry"
 	"rheem/internal/trace"
 	"rheem/latin"
@@ -265,6 +266,110 @@ func TestCacheEndpointsWithoutCache(t *testing.T) {
 		s.ServeHTTP(rec, req)
 		if rec.Code != http.StatusNotFound {
 			t.Errorf("%s %s without cache: %d, want 404", req.Method, req.URL.Path, rec.Code)
+		}
+	}
+}
+
+// TestCacheSpillOverREST drives the spill tier end-to-end through the REST
+// surface: a job's cached result is demoted to disk by a higher-benefit
+// store, a resubmission is served by a disk reload (cache-hit span with
+// tier=disk), and the spill counters appear in /v1/cache/stats and
+// /v1/metrics.
+func TestCacheSpillOverREST(t *testing.T) {
+	metrics := telemetry.NewRegistry()
+	spill, err := dfs.New(t.TempDir(), dfs.Options{Replication: 1, Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := rescache.New(rescache.Options{
+		MaxBytes:      512,
+		SpillStore:    spill,
+		SpillMaxBytes: 1 << 20,
+		Metrics:       metrics,
+	})
+	ctx, err := rheem.NewContext(rheem.Config{
+		FastSimulation: true,
+		Metrics:        metrics,
+		ResultCache:    cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.DFS.WriteLines("words.txt", []string{"a b a", "c a"}); err != nil {
+		t.Fatal(err)
+	}
+	udfs := latin.NewRegistry()
+	udfs.RegisterFlatMap("split", func(q any) []any {
+		fields := strings.Fields(q.(string))
+		out := make([]any, len(fields))
+		for i, w := range fields {
+			out[i] = core.KV{Key: w, Value: int64(1)}
+		}
+		return out
+	})
+	udfs.RegisterKey("wordOf", func(q any) any { return q.(core.KV).Key })
+	udfs.RegisterReduce("sum", func(a, b any) any {
+		ka, kb := a.(core.KV), b.(core.KV)
+		return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
+	})
+	s := NewWithOptions(ctx, udfs, Options{Jobs: jobs.Options{Workers: 1, QueueDepth: 4}})
+	defer drainServer(t, s)
+
+	id1 := submitAndWait(t, s, wordCountScript)
+	// A filler entry the size of the whole RAM tier demotes the job's
+	// cached results to disk.
+	if !cache.Put("filler", []any{int64(1)}, 1e6, 512, nil) {
+		t.Fatal("filler rejected")
+	}
+	var st rescache.Stats
+	rec := get(s, "/v1/cache/stats?details=true")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Spills < 1 || st.SpillEntries < 1 || st.SpillBytes <= 0 {
+		t.Fatalf("stats after demotion: %+v", st)
+	}
+	diskEntries := 0
+	for _, d := range st.Details {
+		if d.Tier == "disk" {
+			diskEntries++
+		}
+	}
+	if diskEntries != st.SpillEntries {
+		t.Errorf("details list %d disk entries, stats say %d", diskEntries, st.SpillEntries)
+	}
+
+	// Resubmission: served by a disk-tier reload.
+	id2 := submitAndWait(t, s, wordCountScript)
+	tr := jobTrace(t, s, id2, "")
+	hitSpan := tr.Find(trace.KindCacheHit)
+	if hitSpan == nil {
+		t.Fatal("warm run after demotion has no cache-hit span")
+	}
+	if tier, _ := hitSpan.Attr("tier"); tier != "disk" {
+		t.Errorf("cache-hit tier = %q, want disk", tier)
+	}
+	if tr.Find(trace.KindCacheReload) == nil {
+		t.Error("warm run has no cache-reload span")
+	}
+	if c1, c2 := jobCounts(t, s, id1), jobCounts(t, s, id2); c2["a"] != c1["a"] || len(c2) != len(c1) {
+		t.Errorf("reloaded result differs: %v vs %v", c2, c1)
+	}
+
+	rec = get(s, "/v1/cache/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SpillReloads < 1 {
+		t.Errorf("spill_reloads = %d after warm run, want >= 1", st.SpillReloads)
+	}
+	body := get(s, "/v1/metrics").Body.String()
+	for _, metric := range []string{
+		"rheem_cache_spills_total", "rheem_cache_spill_reloads_total",
+		"rheem_cache_spill_bytes", "rheem_cache_spill_entries",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics exposition lacks %s", metric)
 		}
 	}
 }

@@ -24,3 +24,6 @@ fi
 go vet ./...
 go build ./...
 go test -race $short ./...
+# Benchmark smoke: one iteration of the codec benchmarks, so they compile
+# and run even when nobody records numbers.
+go test -run=NONE -bench=BenchmarkEncodeQuantum -benchtime=1x ./internal/core
