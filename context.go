@@ -107,11 +107,13 @@ func NewContext(cfg Config) (*Context, error) {
 	}
 	singleNodeSlowdown := 4.0
 	if cfg.FastSimulation {
-		tiny := 0.001
-		cfg.SparkConfig.ContextStartupMs, cfg.SparkConfig.JobStartupMs, cfg.SparkConfig.ShuffleLatencyMs = tiny, tiny, tiny
-		cfg.FlinkConfig.ContextStartupMs, cfg.FlinkConfig.JobStartupMs, cfg.FlinkConfig.ExchangeLatencyMs = tiny, tiny, tiny
-		cfg.PregelConfig.ContextStartupMs, cfg.PregelConfig.SuperstepMs = tiny, tiny
-		cfg.RelstoreConfig.QueryLatencyMs = tiny
+		// The negative sentinel means "really zero" to each engine's
+		// withDefaults (a literal 0 would be replaced by the default).
+		const none float64 = spark.NoOverheadMs
+		cfg.SparkConfig.ContextStartupMs, cfg.SparkConfig.JobStartupMs, cfg.SparkConfig.ShuffleLatencyMs = none, none, none
+		cfg.FlinkConfig.ContextStartupMs, cfg.FlinkConfig.JobStartupMs, cfg.FlinkConfig.ExchangeLatencyMs = none, none, none
+		cfg.PregelConfig.ContextStartupMs, cfg.PregelConfig.SuperstepMs = none, none
+		cfg.RelstoreConfig.QueryLatencyMs = none
 		cfg.RelstoreConfig.SimSlowdown = 1
 		singleNodeSlowdown = 1
 	}

@@ -1,0 +1,144 @@
+package rheem
+
+// Differential testing for pipeline fusion: executing with fused
+// narrow-operator kernels must produce exactly the same sink output as the
+// per-operator path (core.SetFusionDisabled / RHEEM_NO_FUSE=1), across
+// random plan shapes and across every engine.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rheem/internal/core"
+)
+
+func TestCrossCheckFusedAgainstUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for i := 0; i < 15; i++ {
+		fusedCtx := fastCtx(t)
+		unfusedCtx := fastCtx(t)
+
+		seed := rng.Int63()
+		planF, sinkF := randomPlan(fusedCtx, rand.New(rand.NewSource(seed)), i)
+		planU, sinkU := randomPlan(unfusedCtx, rand.New(rand.NewSource(seed)), i)
+
+		resF, err := fusedCtx.Execute(planF)
+		if err != nil {
+			t.Fatalf("plan %d fused: %v\n%s", i, err, planF)
+		}
+
+		prev := core.SetFusionDisabled(true)
+		resU, err := unfusedCtx.Execute(planU)
+		core.SetFusionDisabled(prev)
+		if err != nil {
+			t.Fatalf("plan %d unfused: %v", i, err)
+		}
+
+		outF, err := resF.CollectFrom(sinkF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outU, err := resU.CollectFrom(sinkU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, cu := canonical(t, outF), canonical(t, outU)
+		if len(cf) != len(cu) {
+			t.Fatalf("plan %d: fused produced %d quanta, unfused %d\n%s",
+				i, len(cf), len(cu), planF)
+		}
+		for j := range cf {
+			if cf[j] != cu[j] {
+				t.Fatalf("plan %d: result %d differs fused vs unfused: %q vs %q",
+					i, j, cf[j], cu[j])
+			}
+		}
+	}
+}
+
+// fig9Pipeline is the shape of the paper's Figure-9 single-platform tasks:
+// a long narrow prefix (flatmap/map/filter) into one aggregation.
+func fig9Pipeline(ctx *Context, platform string) (*core.Plan, *core.Operator) {
+	b := ctx.NewPlan("fig9-" + platform)
+	data := make([]any, 3000)
+	for i := range data {
+		data[i] = fmt.Sprintf("w%d w%d w%d", i%7, i%13, i%29)
+	}
+	counts := b.LoadCollection("lines", data).
+		FlatMap("split", func(q any) []any {
+			var out []any
+			word := ""
+			for _, r := range q.(string) + " " {
+				if r == ' ' {
+					if word != "" {
+						out = append(out, word)
+					}
+					word = ""
+					continue
+				}
+				word += string(r)
+			}
+			return out
+		}).
+		Filter("drop-w0", func(q any) bool { return q.(string) != "w0" }).
+		Map("tag", func(q any) any { return core.Record{q, int64(1)} }).
+		ReduceBy("count",
+			func(q any) any { return q.(core.Record)[0] },
+			func(a, b any) any {
+				ar, br := a.(core.Record), b.(core.Record)
+				return core.Record{ar[0], ar[1].(int64) + br[1].(int64)}
+			})
+	sink := counts.CollectSink()
+	p := b.Plan()
+	if platform != "" {
+		for _, op := range p.Operators() {
+			op.TargetPlatform = platform
+		}
+	}
+	return p, sink
+}
+
+func TestFusedFig9TaskEquivalentOnEveryEngine(t *testing.T) {
+	for _, platform := range []string{"", "streams", "spark", "flink"} {
+		name := platform
+		if name == "" {
+			name = "optimizer-choice"
+		}
+		t.Run(name, func(t *testing.T) {
+			fusedCtx := fastCtx(t)
+			planF, sinkF := fig9Pipeline(fusedCtx, platform)
+			resF, err := fusedCtx.Execute(planF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outF, err := resF.CollectFrom(sinkF)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			unfusedCtx := fastCtx(t)
+			planU, sinkU := fig9Pipeline(unfusedCtx, platform)
+			prev := core.SetFusionDisabled(true)
+			resU, err := unfusedCtx.Execute(planU)
+			core.SetFusionDisabled(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outU, err := resU.CollectFrom(sinkU)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cf, cu := canonical(t, outF), canonical(t, outU)
+			if len(cf) != len(cu) {
+				t.Fatalf("fused %d rows, unfused %d rows", len(cf), len(cu))
+			}
+			for j := range cf {
+				if cf[j] != cu[j] {
+					t.Fatalf("row %d differs: fused %q vs unfused %q", j, cf[j], cu[j])
+				}
+			}
+		})
+	}
+}

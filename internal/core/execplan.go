@@ -228,6 +228,9 @@ type StageStats struct {
 	Runtime  time.Duration
 	OutCards map[*Operator]int64 // true output cardinalities
 	Ops      map[*Operator]OpStats
+	// FusedChains lists the narrow-operator chains the engine executed as
+	// single-pass fused kernels (each entry is the chain's ops, head first).
+	FusedChains [][]*Operator
 }
 
 // Inputs is the set of channels a stage execution reads: main dataflow

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Pipeline fusion: narrow, stateless, single-input operators (map, filter,
+// flatmap, project) that follow each other on the same platform are compiled
+// into one single-pass kernel by the engines (see
+// internal/platform/driverutil/fuse.go). This file holds the pieces both the
+// optimizer and the engines need: the kind eligibility predicate and the
+// global kill switch, so cost estimation and execution always agree on
+// whether a chain fuses.
+
+// FusibleKind reports whether k is a narrow, stateless, single-input
+// operator kind eligible for pipeline fusion. Distinct (stateful), MapPart
+// (whole-partition), Sample (round-dependent) and all wide kinds are not.
+func FusibleKind(k Kind) bool {
+	switch k {
+	case KindMap, KindFilter, KindFlatMap, KindProject:
+		return true
+	}
+	return false
+}
+
+// fusionOff is the global fusion kill switch: 1 disables fusion everywhere
+// (engines fall back to per-operator execution and the optimizer stops
+// discounting chains). Seeded from RHEEM_NO_FUSE at startup.
+var fusionOff atomic.Bool
+
+func init() {
+	if os.Getenv("RHEEM_NO_FUSE") != "" {
+		fusionOff.Store(true)
+	}
+}
+
+// FusionDisabled reports whether pipeline fusion is globally disabled
+// (RHEEM_NO_FUSE, or SetFusionDisabled).
+func FusionDisabled() bool { return fusionOff.Load() }
+
+// SetFusionDisabled flips the global fusion kill switch; it exists for the
+// fused-vs-unfused crosscheck and benchmarks. Returns the previous value.
+func SetFusionDisabled(off bool) bool { return fusionOff.Swap(off) }

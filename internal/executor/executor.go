@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -241,6 +242,9 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 				}
 				ex.Metrics.Counter("rheem_executor_stages_total", telemetry.L("platform", oc.stage.Platform)).Inc()
 				ex.Metrics.Counter("rheem_executor_stage_seconds_total", telemetry.L("platform", oc.stage.Platform)).Add(oc.stats.Runtime.Seconds())
+				if n := len(oc.stats.FusedChains); n > 0 {
+					ex.Metrics.Counter("rheem_fused_chains_total", telemetry.L("platform", oc.stage.Platform)).Add(float64(n))
+				}
 			}
 		}
 
@@ -298,6 +302,18 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 // ending at the stage's completion instant (attribution, not measurement).
 func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) {
 	stSp.SetFloat("runtime_ms", float64(stats.Runtime)/float64(time.Millisecond))
+	// One span per fused chain, carrying the single-pass kernel's op list.
+	for _, chain := range stats.FusedChains {
+		names := make([]string, len(chain))
+		for i, op := range chain {
+			names[i] = op.String()
+		}
+		fuSp := stSp.Start(trace.KindFusedPipeline, "fused:"+strconv.Itoa(len(chain))+"-ops")
+		fuSp.SetAttr("platform", s.Platform)
+		fuSp.SetAttr("ops", strings.Join(names, " → "))
+		fuSp.SetInt("chain_len", int64(len(chain)))
+		fuSp.End()
+	}
 	var total time.Duration
 	for _, os := range stats.Ops {
 		total += os.Runtime

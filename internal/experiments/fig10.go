@@ -142,7 +142,13 @@ func Fig10b(opts Options) ([]Row, error) {
 
 // misleadingFilterTask: a low-selectivity filter advertised as highly
 // selective, followed by a CPU-heavy tail that the optimizer will plan onto
-// the single-node engine if it believes the hint.
+// the single-node engine if it believes the hint. The Distinct between the
+// filter and the tail is a fusion barrier: without it, the fusion-aware
+// cost model keeps the (believed tiny) tail fused onto the pinned spark
+// chain — correctly! — and the hint no longer misleads anyone. Behind a
+// non-fusible operator the estimated 7-quanta tail again looks cheapest on
+// the single-node engine, which is the mistake this experiment needs the
+// progressive reoptimizer to correct.
 func misleadingFilterTask(ctx *rheem.Context, n int) (*rheem.PlanBuilder, *core.Operator) {
 	b := ctx.NewPlan("misled")
 	data := make([]any, n)
@@ -153,6 +159,7 @@ func misleadingFilterTask(ctx *rheem.Context, n int) (*rheem.PlanBuilder, *core.
 		Map("stage-in", func(q any) any { return q }).WithTargetPlatform("spark").
 		Filter("claimed-selective", func(q any) bool { return q.(int64)%10 != 0 }).
 		WithSelectivity(0.0001).WithTargetPlatform("spark").
+		Distinct().
 		Map("heavy-tail", func(q any) any {
 			v := q.(int64)
 			for i := 0; i < 2000; i++ {

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/internal/tasks"
+)
+
+// Fusion measures the stage-kernel compiler: an 8-operator narrow chain
+// (identity-heavy maps plus two mild filters, so per-operator
+// materialization dominates the work) executed with fused single-pass
+// kernels vs. the per-operator path, per engine. The fused rows should sit
+// well below the unfused ones on the materializing engines (spark), and
+// still ahead on the pipelining ones (flink) because the kernel replaces
+// per-operator channel hops with one batched segment.
+func Fusion(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	n := opts.n(400000)
+	data := make([]any, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+
+	build := func(ctx *rheem.Context, platform string) (*core.Plan, *core.Operator) {
+		b := ctx.NewPlan("fusion-" + platform)
+		d := b.LoadCollection("ints", data)
+		for i := 0; i < 8; i++ {
+			switch i {
+			case 2:
+				d = d.Filter("mod10", func(q any) bool { return q.(int64)%10 != 0 })
+			case 5:
+				d = d.Filter("mod7", func(q any) bool { return q.(int64)%7 != 0 })
+			default:
+				d = d.Map(fmt.Sprintf("id%d", i), func(q any) any { return q })
+			}
+		}
+		sink := d.CollectSink()
+		p := b.Plan()
+		tasks.PinAll(p, platform)
+		return p, sink
+	}
+
+	var rows []Row
+	for _, platform := range []string{"streams", "spark", "flink"} {
+		cfg := "platform=" + platform
+		for _, system := range []string{"fused", "unfused"} {
+			ctx, err := newCtx()
+			if err != nil {
+				return nil, err
+			}
+			plan, sink := build(ctx, platform)
+			prev := core.SetFusionDisabled(system == "unfused")
+			ms, err := timed(func() error {
+				res, err := ctx.Execute(plan, rheem.WithProgressive(false))
+				if err != nil {
+					return err
+				}
+				out, err := res.CollectFrom(sink)
+				if err != nil {
+					return err
+				}
+				if len(out) == 0 {
+					return fmt.Errorf("fusion %s %s: empty result", cfg, system)
+				}
+				return nil
+			})
+			core.SetFusionDisabled(prev)
+			if err != nil {
+				return nil, fmt.Errorf("fusion %s %s: %w", cfg, system, err)
+			}
+			rows = append(rows, Row{Figure: "fusion", Config: cfg, System: system, Ms: ms})
+		}
+	}
+	return rows, nil
+}

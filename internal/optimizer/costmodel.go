@@ -109,6 +109,27 @@ func (ct *CostTable) AlternativeCost(alt core.Alternative, in, out core.CardEsti
 	return core.CostInterval{LowMs: lo, HighMs: hi, Confidence: conf}
 }
 
+// FusedStepOverheadMs returns the per-invocation fixed overhead (in
+// milliseconds) of an alternative's steps: the part of its cost that
+// pipeline fusion eliminates. When two adjacent narrow operators fuse into
+// one single-pass kernel, the downstream operator's per-op dispatch and
+// intermediate materialization vanish — its per-tuple UDF cost remains.
+func (ct *CostTable) FusedStepOverheadMs(alt core.Alternative) float64 {
+	u, ok := ct.Platforms[alt.Platform]
+	if !ok {
+		u = PlatformUnitCosts{MsPerCPUUnit: 1, MsPerIOUnit: 1, MsPerNetUnit: 1, MsPerFixed: 1}
+	}
+	total := 0.0
+	for _, step := range alt.Steps {
+		p, ok := ct.Ops[step.CostKeyOrName()]
+		if !ok {
+			p = defaultParamsFor(step.CostKeyOrName())
+		}
+		total += p.FixedOverhead * u.MsPerFixed
+	}
+	return total
+}
+
 // Save writes the table as JSON.
 func (ct *CostTable) Save(path string) error {
 	raw, err := json.MarshalIndent(ct, "", "  ")

@@ -1,0 +1,75 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"rheem/internal/core"
+)
+
+// narrowPlan builds source(n) -> map -> filter -> map -> map -> sink: a
+// pipeline the engines execute as one fused kernel.
+func narrowPlan(n int) *core.Plan {
+	p := core.NewPlan("narrow")
+	data := make([]any, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	src := p.NewOperator(core.KindCollectionSource, "src")
+	src.Params.Collection = data
+	m1 := p.NewOperator(core.KindMap, "m1")
+	m1.UDF.Map = func(q any) any { return q }
+	f := p.NewOperator(core.KindFilter, "f")
+	f.UDF.Pred = func(q any) bool { return q.(int64)%2 == 0 }
+	m2 := p.NewOperator(core.KindMap, "m2")
+	m2.UDF.Map = func(q any) any { return q }
+	m3 := p.NewOperator(core.KindMap, "m3")
+	m3.UDF.Map = func(q any) any { return q }
+	sink := p.NewOperator(core.KindCollectionSink, "out")
+	p.Chain(src, m1, f, m2, m3, sink)
+	return p
+}
+
+func TestFusionDiscountLowersPlanCost(t *testing.T) {
+	env := newTestEnv(t)
+
+	fusedPlan, err := Optimize(narrowPlan(5000), env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := core.SetFusionDisabled(true)
+	defer core.SetFusionDisabled(prev)
+	unfusedPlan, err := Optimize(narrowPlan(5000), env.opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With fusion on, same-platform narrow adjacency gets the per-op fixed
+	// overhead discounted, so the chosen plan must cost strictly less.
+	if fused, unfused := fusedPlan.Cost.Geomean(), unfusedPlan.Cost.Geomean(); fused >= unfused {
+		t.Fatalf("fusion-aware cost %v not below fusion-blind cost %v", fused, unfused)
+	}
+
+	// The discount only applies to same-platform producer/consumer pairs, so
+	// it must pull the whole narrow chain onto a single platform.
+	if platforms := fusedPlan.Platforms(); len(platforms) != 1 {
+		t.Fatalf("narrow chain split across platforms: %v", platforms)
+	}
+}
+
+func TestFusedStepOverheadMs(t *testing.T) {
+	ct := DefaultCostTable([]string{"spark"})
+	alt := core.Alternative{Platform: "spark", Steps: []core.ExecOpTemplate{{Name: "spark.map"}}}
+	got := ct.FusedStepOverheadMs(alt)
+	// spark.map defaults to FixedOverhead 0.2 at MsPerFixed 6.
+	if want := 0.2 * 6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("FusedStepOverheadMs = %v, want %v", got, want)
+	}
+	// Unknown platforms fall back to unit costs rather than zeroing the
+	// discount silently.
+	other := core.Alternative{Platform: "nope", Steps: []core.ExecOpTemplate{{Name: "nope.map"}}}
+	if got := ct.FusedStepOverheadMs(other); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("fallback overhead = %v, want 0.2", got)
+	}
+}

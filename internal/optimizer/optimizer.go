@@ -392,6 +392,16 @@ func dpEnumerate(p *core.Plan, opts Options, inflated map[*core.Operator][]entry
 				continue
 			}
 			own := opts.Costs.AlternativeCost(ent.alt, inputCard(op, ent, cards), cards[op]).Geomean() * opts.weight(ent.alt.Platform)
+			// Pipeline fusion discount: a narrow op whose sole producer is a
+			// narrow op on the same platform (no conversion between them)
+			// rides the producer's fused chain, so its per-invocation fixed
+			// overhead — per-op dispatch and intermediate materialization —
+			// is not paid; only its per-tuple UDF cost remains. The discount
+			// never exceeds own's fixed part, so totals stay non-negative.
+			fuseDisc := 0.0
+			if !core.FusionDisabled() && core.FusibleKind(op.Kind) && core.InArityOf(op) == 1 {
+				fuseDisc = opts.Costs.FusedStepOverheadMs(ent.alt) * opts.weight(ent.alt.Platform)
+			}
 			picks := map[*core.Operator]int{}
 			total := own
 			h := ent.head(op)
@@ -432,7 +442,13 @@ func dpEnumerate(p *core.Plan, opts Options, inflated map[*core.Operator][]entry
 					if mv >= inf {
 						continue
 					}
-					if c := pc[pi] + mv; c < bestIn {
+					disc := 0.0
+					if fuseDisc > 0 && !isBroadcast && mv == 0 &&
+						pe.alt.Platform == ent.alt.Platform &&
+						core.FusibleKind(producer.Kind) && len(producer.Outputs()) == 1 {
+						disc = fuseDisc
+					}
+					if c := pc[pi] + mv - disc; c < bestIn {
 						bestIn = c
 						bestIdx = pi
 					}

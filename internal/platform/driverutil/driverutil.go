@@ -86,7 +86,30 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 	counters := make(map[*core.Operator]*int64, len(stage.Ops))
 	opTimes := make(map[*core.Operator]time.Duration, len(stage.Ops))
 
+	// Plan pipeline fusion: engines that implement ChainEngine run maximal
+	// narrow-operator chains as single-pass kernels instead of one Apply
+	// (and one intermediate materialization) per operator.
+	var chains map[*core.Operator]*FusedChain
+	var covered map[*core.Operator]bool
+	ce, canFuse := e.(ChainEngine)
+	if canFuse && !core.FusionDisabled() {
+		chains, covered = PlanFusion(stage)
+	}
+	var fusedChains [][]*core.Operator
+
 	for _, op := range stage.Ops {
+		if covered[op] {
+			continue // runs inside the fused chain rooted at its head
+		}
+		if chain := chains[op]; chain != nil {
+			elapsed, err := runChain(e, ce, stage, chain, in, results, counters)
+			if err != nil {
+				return nil, nil, err
+			}
+			attributeChainTime(chain, counters, elapsed, opTimes)
+			fusedChains = append(fusedChains, chain.Ops)
+			continue
+		}
 		ins, err := resolveInputs(e, stage, op, in, results)
 		if err != nil {
 			return nil, nil, err
@@ -128,10 +151,11 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 	}
 
 	stats := &core.StageStats{
-		Stage:    stage,
-		Runtime:  time.Since(start),
-		OutCards: map[*core.Operator]int64{},
-		Ops:      map[*core.Operator]core.OpStats{},
+		Stage:       stage,
+		Runtime:     time.Since(start),
+		OutCards:    map[*core.Operator]int64{},
+		Ops:         map[*core.Operator]core.OpStats{},
+		FusedChains: fusedChains,
 	}
 	for op, c := range counters {
 		stats.OutCards[op] = *c
@@ -143,6 +167,79 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 	// strategies", Section 4.3).
 	reattributeLazyTime(stats)
 	return outs, stats, nil
+}
+
+// runChain resolves the chain head's input, opens every chain operator's
+// UDF with its broadcast context, compiles the kernel, and hands the whole
+// chain to the engine. The tail's output lands in results; per-op counters
+// are registered for all chain operators so cardinality accounting matches
+// unfused execution.
+func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in *core.Inputs,
+	results map[*core.Operator]Data, counters map[*core.Operator]*int64) (time.Duration, error) {
+	ins, err := resolveInputs(e, stage, chain.Head(), in, results)
+	if err != nil {
+		return 0, err
+	}
+	ctrs := make([]*int64, len(chain.Ops))
+	for i, op := range chain.Ops {
+		bc, err := broadcastCtx(op, in)
+		if err != nil {
+			return 0, err
+		}
+		if op.UDF.Open != nil {
+			op.UDF.Open(bc)
+		}
+		var counter int64
+		counters[op] = &counter
+		ctrs[i] = &counter
+	}
+	kernel, err := CompileChain(chain.Ops)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
+	}
+	// Exploratory-mode sniffers observe inside the kernel, at each step's
+	// emission points. The unfused engines call sniffers from one goroutine
+	// at a time; a per-chain mutex preserves that contract when the kernel
+	// runs on parallel partitions.
+	if stage.Sniffers != nil {
+		var sniffMu sync.Mutex
+		for i, op := range chain.Ops {
+			if s := stage.Sniffers[op]; s != nil {
+				s := s
+				kernel.SetSniff(i, func(q any) {
+					sniffMu.Lock()
+					s(q)
+					sniffMu.Unlock()
+				})
+			}
+		}
+	}
+	opStart := time.Now()
+	d, err := ce.ApplyChain(chain, kernel, ins[0], ctrs)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
+	}
+	results[chain.Tail()] = d
+	return time.Since(opStart), nil
+}
+
+// attributeChainTime splits a fused chain's elapsed wall time over its
+// operators proportionally to their observed output cardinalities (the
+// chain runs as one kernel, so per-op times cannot be measured directly).
+// When nothing was counted yet — lazy engines run the kernel later — the
+// whole elapsed time lands on the tail and reattributeLazyTime takes over.
+func attributeChainTime(chain *FusedChain, counters map[*core.Operator]*int64, elapsed time.Duration, opTimes map[*core.Operator]time.Duration) {
+	var total int64
+	for _, op := range chain.Ops {
+		total += *counters[op]
+	}
+	if total == 0 {
+		opTimes[chain.Tail()] = elapsed
+		return
+	}
+	for _, op := range chain.Ops {
+		opTimes[op] = time.Duration(float64(elapsed) * float64(*counters[op]) / float64(total))
+	}
 }
 
 func resolveInputs(e Engine, stage *core.Stage, op *core.Operator, in *core.Inputs, results map[*core.Operator]Data) ([]Data, error) {

@@ -1,0 +1,271 @@
+package driverutil
+
+import (
+	"fmt"
+
+	"rheem/internal/core"
+)
+
+// Pipeline fusion. A stage of k narrow operators naively costs k engine
+// dispatches and k-1 throwaway intermediate materializations. PlanFusion
+// detects maximal chains of narrow, stateless, single-input operators
+// (map / filter / flatmap / project) inside a stage and CompileChain turns
+// each into a single-pass kernel: one closure applies the whole chain per
+// quantum, with filter compaction happening in place in a single output
+// buffer sized from the input partition. Engines that can run such kernels
+// implement ChainEngine; runStage hands them whole chains instead of one
+// operator at a time.
+
+// FusedChain is a maximal run of fusible operators inside one stage, in
+// dataflow order.
+type FusedChain struct {
+	Ops []*core.Operator
+}
+
+// Head returns the chain's first operator (the one whose input feeds the
+// kernel).
+func (c *FusedChain) Head() *core.Operator { return c.Ops[0] }
+
+// Tail returns the chain's last operator (the one whose output the kernel
+// produces).
+func (c *FusedChain) Tail() *core.Operator { return c.Ops[len(c.Ops)-1] }
+
+func (c *FusedChain) String() string {
+	s := ""
+	for i, op := range c.Ops {
+		if i > 0 {
+			s += " → "
+		}
+		s += op.String()
+	}
+	return s
+}
+
+// ChainEngine is optionally implemented by engines that can execute a fused
+// chain natively. in is the head operator's (single) resolved input;
+// counters are per-chain-op output-cardinality counters aligned with
+// chain.Ops. The returned Data stands for the tail operator's output.
+type ChainEngine interface {
+	ApplyChain(chain *FusedChain, kernel *FusedKernel, in Data, counters []*int64) (Data, error)
+}
+
+// fusible reports whether op can participate in a fused chain of this
+// stage: a narrow stateless kind, exactly one input, and the UDF (or
+// declarative parameter) it needs actually present. Sniffed operators
+// (exploratory-mode checkpoints) stay fusible: the kernel invokes the
+// sniffer at the step's emission points (see SetSniff), so every quantum is
+// still observed.
+func fusible(stage *core.Stage, op *core.Operator) bool {
+	if !core.FusibleKind(op.Kind) || core.InArityOf(op) != 1 {
+		return false
+	}
+	switch op.Kind {
+	case core.KindMap:
+		return op.UDF.Map != nil
+	case core.KindFilter:
+		return op.UDF.Pred != nil || op.Params.Where != nil
+	case core.KindFlatMap:
+		return op.UDF.FlatMap != nil
+	case core.KindProject:
+		return true
+	}
+	return false
+}
+
+// isTerminal reports whether op's output must be materialized at stage end.
+func isTerminal(stage *core.Stage, op *core.Operator) bool {
+	for _, t := range stage.TerminalOuts {
+		if t == op {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanFusion walks the stage's topo-ordered ops and returns the maximal
+// fusible chains (length ≥ 2), keyed by chain head, plus the set of
+// non-head operators each chain covers. A chain extends from cur to next
+// while cur feeds exactly next (single consumer, not a terminal output) and
+// next is a fusible operator consuming only cur.
+func PlanFusion(stage *core.Stage) (chains map[*core.Operator]*FusedChain, covered map[*core.Operator]bool) {
+	chains = map[*core.Operator]*FusedChain{}
+	covered = map[*core.Operator]bool{}
+	for _, op := range stage.Ops {
+		if covered[op] || !fusible(stage, op) {
+			continue
+		}
+		chain := []*core.Operator{op}
+		cur := op
+		for {
+			if isTerminal(stage, cur) || len(cur.Outputs()) != 1 {
+				break
+			}
+			next := cur.Outputs()[0]
+			if !stage.Contains(next) || !fusible(stage, next) {
+				break
+			}
+			if len(next.Inputs()) != 1 || next.Inputs()[0] != cur {
+				break
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		chains[op] = &FusedChain{Ops: chain}
+		for _, c := range chain[1:] {
+			covered[c] = true
+		}
+	}
+	return chains, covered
+}
+
+// fusedStep is one compiled operator of a chain.
+type fusedStep struct {
+	kind  core.Kind
+	mapf  func(any) any
+	pred  func(any) bool
+	flat  func(any) []any
+	cols  []int
+	sniff func(any)      // when set, observes every quantum this step emits
+	op    *core.Operator // for error messages
+}
+
+// FusedKernel is a compiled chain: Run applies every step per quantum in a
+// single pass over a partition.
+type FusedKernel struct {
+	steps []fusedStep
+}
+
+// CompileChain compiles the chain's operators into a single-pass kernel.
+// Ops must satisfy fusible(); the error paths guard against future kinds
+// slipping through PlanFusion without a compilation rule.
+func CompileChain(ops []*core.Operator) (*FusedKernel, error) {
+	k := &FusedKernel{steps: make([]fusedStep, 0, len(ops))}
+	for _, op := range ops {
+		st := fusedStep{kind: op.Kind, op: op}
+		switch op.Kind {
+		case core.KindMap:
+			if op.UDF.Map == nil {
+				return nil, fmt.Errorf("fuse: map %s lacks a map UDF", op)
+			}
+			st.mapf = op.UDF.Map
+		case core.KindFilter:
+			pred, err := PredOf(op)
+			if err != nil {
+				return nil, fmt.Errorf("fuse: %w", err)
+			}
+			st.pred = pred
+		case core.KindFlatMap:
+			if op.UDF.FlatMap == nil {
+				return nil, fmt.Errorf("fuse: flatmap %s lacks a flatmap UDF", op)
+			}
+			st.flat = op.UDF.FlatMap
+		case core.KindProject:
+			st.cols = op.Params.Columns // nil means identity, like Project
+		default:
+			return nil, fmt.Errorf("fuse: %s kind %s is not fusible", op, op.Kind)
+		}
+		k.steps = append(k.steps, st)
+	}
+	return k, nil
+}
+
+// Len returns the number of steps (chain operators) in the kernel.
+func (k *FusedKernel) Len() int { return len(k.steps) }
+
+// SetSniff attaches an observer to step i: it is invoked once per quantum
+// the step emits, mirroring the unfused engines' sniffer contract. Engines
+// may run the kernel from several goroutines, and the unfused paths call
+// sniffers from a single goroutine at a time — the caller must pass a
+// function that provides its own serialization (runChain wraps the stage
+// sniffer in a per-chain mutex). Set sniffs before handing the kernel to
+// ApplyChain; the kernel itself is read-only during Run.
+func (k *FusedKernel) SetSniff(i int, fn func(any)) { k.steps[i].sniff = fn }
+
+// Sniffed reports whether any step carries a sniffer.
+func (k *FusedKernel) Sniffed() bool {
+	for i := range k.steps {
+		if k.steps[i].sniff != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Tail returns a kernel sharing steps[from:], preserving attached sniffs.
+// relstore uses it to fuse the remainder of a chain after pushing the head
+// filter into an index scan.
+func (k *FusedKernel) Tail(from int) *FusedKernel {
+	return &FusedKernel{steps: k.steps[from:]}
+}
+
+// StepSniff returns step i's observer (nil when unset).
+func (k *FusedKernel) StepSniff(i int) func(any) { return k.steps[i].sniff }
+
+// Run applies the whole chain to one partition in a single pass. counts, if
+// non-nil, must have Len() entries; counts[i] is incremented once per
+// quantum the i-th step emits, yielding the same per-operator output
+// cardinalities as unfused execution. buf, when non-nil, is reused as the
+// output buffer (appended-to from length 0 by the caller's convention:
+// pass buf[:0]); otherwise a fresh buffer with the input partition's
+// capacity is allocated. Filtered-out quanta are simply never appended, so
+// compaction is inherent — survivors land contiguously.
+func (k *FusedKernel) Run(part []any, counts []int64, buf []any) []any {
+	out := buf
+	if out == nil {
+		out = make([]any, 0, len(part))
+	}
+	for _, q := range part {
+		out = k.emit(0, q, counts, out)
+	}
+	return out
+}
+
+// emit pushes one quantum through steps[i:], appending whatever survives.
+// Flatmap steps recurse per produced quantum so later steps see each one
+// individually.
+func (k *FusedKernel) emit(i int, q any, counts []int64, out []any) []any {
+	for ; i < len(k.steps); i++ {
+		st := &k.steps[i]
+		switch st.kind {
+		case core.KindMap:
+			q = st.mapf(q)
+		case core.KindFilter:
+			if !st.pred(q) {
+				return out
+			}
+		case core.KindFlatMap:
+			for _, r := range st.flat(q) {
+				if counts != nil {
+					counts[i]++
+				}
+				if st.sniff != nil {
+					st.sniff(r)
+				}
+				out = k.emit(i+1, r, counts, out)
+			}
+			return out
+		case core.KindProject:
+			if st.cols != nil {
+				rec, ok := q.(core.Record)
+				if !ok {
+					panic(fmt.Sprintf("project %s: quantum %T is not a Record", st.op, q))
+				}
+				proj := make(core.Record, len(st.cols))
+				for j, c := range st.cols {
+					proj[j] = rec[c]
+				}
+				q = proj
+			}
+		}
+		if counts != nil {
+			counts[i]++
+		}
+		if st.sniff != nil {
+			st.sniff(q)
+		}
+	}
+	return append(out, q)
+}

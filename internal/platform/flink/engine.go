@@ -3,6 +3,7 @@ package flink
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rheem/internal/core"
 	"rheem/internal/platform/driverutil"
@@ -304,6 +305,85 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 }
 
 var countMu sync.Mutex
+
+// fuseBatch is the vector size fused chains batch quanta in: the whole
+// chain runs over one vector per kernel invocation, amortizing channel
+// sends and reusing one output buffer instead of paying one send (and one
+// goroutine hop) per quantum per operator.
+const fuseBatch = 256
+
+// ApplyChain implements driverutil.ChainEngine: the fused chain runs as a
+// single goroutine pipeline segment per instance. Quanta are batched into
+// vectors of fuseBatch and pushed through the compiled kernel in one pass;
+// per-step counts transfer to the shared counters when the segment drains,
+// bypassing the per-quantum countMu of the unfused path entirely.
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+	f, ok := in.(*flow)
+	if !ok {
+		return nil, fmt.Errorf("flink: fused chain input is %T, not a flow", in)
+	}
+	box := f.errBox
+	if box == nil {
+		box = &errBox{}
+	}
+	out := &flow{
+		width:  f.width,
+		card:   -1,
+		errBox: box,
+		start: func() []chan any {
+			ins := f.start()
+			outs := make([]chan any, len(ins))
+			for i := range ins {
+				o := make(chan any, chanBuf)
+				outs[i] = o
+				go func(in <-chan any, out chan<- any) {
+					counts := make([]int64, kernel.Len())
+					defer close(out)
+					defer func() {
+						for s, c := range counts {
+							atomic.AddInt64(counters[s], c)
+						}
+					}()
+					defer func() {
+						if r := recover(); r != nil {
+							box.set(fmt.Errorf("flink: UDF panic: %v", r))
+							// Drain the input so upstream producers unblock.
+							for range in {
+							}
+						}
+					}()
+					vec := make([]any, 0, fuseBatch)
+					var buf []any
+					flush := func() {
+						buf = kernel.Run(vec, counts, buf[:0])
+						for _, q := range buf {
+							out <- q
+						}
+						vec = vec[:0]
+					}
+					for q := range in {
+						vec = append(vec, q)
+						if len(vec) == fuseBatch {
+							flush()
+						}
+					}
+					if len(vec) > 0 {
+						flush()
+					}
+				}(ins[i], o)
+			}
+			return outs
+		},
+	}
+	if stageConsumers(e.stage, chain.Tail()) > 1 {
+		parts := out.materialize()
+		if err := box.get(); err != nil {
+			return nil, err
+		}
+		return sliceFlow(parts), nil
+	}
+	return out, nil
+}
 
 func stageConsumers(stage *core.Stage, op *core.Operator) int {
 	n := 0

@@ -24,19 +24,26 @@ import (
 // Platform is the platform name this driver registers under.
 const Platform = "flink"
 
-// Config tunes parallelism and simulated scheduling overheads.
+// Config tunes parallelism and simulated scheduling overheads. The overhead
+// fields treat 0 as "use the default"; pass any negative value (e.g.
+// NoOverheadMs) for a genuinely overhead-free configuration.
 type Config struct {
 	// Parallelism is the number of parallel operator instances.
 	Parallelism int
 	// ContextStartupMs is paid on the first job (session cluster boot).
-	// Default 80.
+	// Default 80; negative means none.
 	ContextStartupMs float64
-	// JobStartupMs is paid per dispatched job. Default 6.
+	// JobStartupMs is paid per dispatched job. Default 6; negative means
+	// none.
 	JobStartupMs float64
 	// ExchangeLatencyMs is paid per network exchange (wide dependency).
-	// Default 2.
+	// Default 2; negative means none.
 	ExchangeLatencyMs float64
 }
+
+// NoOverheadMs is the sentinel for "this overhead is really zero" in Config
+// fields whose zero value means "use the default".
+const NoOverheadMs = -1
 
 func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
@@ -45,16 +52,22 @@ func (c Config) withDefaults() Config {
 			c.Parallelism = 4 // partitions interleave when the host is smaller
 		}
 	}
-	if c.ContextStartupMs == 0 {
-		c.ContextStartupMs = 80
-	}
-	if c.JobStartupMs == 0 {
-		c.JobStartupMs = 6
-	}
-	if c.ExchangeLatencyMs == 0 {
-		c.ExchangeLatencyMs = 2
-	}
+	c.ContextStartupMs = defaultMs(c.ContextStartupMs, 80)
+	c.JobStartupMs = defaultMs(c.JobStartupMs, 6)
+	c.ExchangeLatencyMs = defaultMs(c.ExchangeLatencyMs, 2)
 	return c
+}
+
+// defaultMs resolves an overhead field: 0 selects the default, a negative
+// sentinel selects a true zero.
+func defaultMs(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // Driver is the flink platform driver.

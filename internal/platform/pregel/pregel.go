@@ -22,15 +22,23 @@ import (
 // Platform is the platform name this driver registers under.
 const Platform = "pregel"
 
-// Config tunes the BSP runtime.
+// Config tunes the BSP runtime. The overhead fields treat 0 as "use the
+// default"; pass any negative value (e.g. NoOverheadMs) for a genuinely
+// overhead-free configuration.
 type Config struct {
 	// Workers is the number of parallel vertex partitions. Defaults to CPUs.
 	Workers int
-	// ContextStartupMs is paid on the first job. Default 60.
+	// ContextStartupMs is paid on the first job. Default 60; negative means
+	// none.
 	ContextStartupMs float64
-	// SuperstepMs is the per-superstep synchronization overhead. Default 1.5.
+	// SuperstepMs is the per-superstep synchronization overhead. Default 1.5;
+	// negative means none.
 	SuperstepMs float64
 }
+
+// NoOverheadMs is the sentinel for "this overhead is really zero" in Config
+// fields whose zero value means "use the default".
+const NoOverheadMs = -1
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -39,13 +47,21 @@ func (c Config) withDefaults() Config {
 			c.Workers = 4 // partitions interleave when the host is smaller
 		}
 	}
-	if c.ContextStartupMs == 0 {
-		c.ContextStartupMs = 60
-	}
-	if c.SuperstepMs == 0 {
-		c.SuperstepMs = 1.5
-	}
+	c.ContextStartupMs = defaultMs(c.ContextStartupMs, 60)
+	c.SuperstepMs = defaultMs(c.SuperstepMs, 1.5)
 	return c
+}
+
+// defaultMs resolves an overhead field: 0 selects the default, a negative
+// sentinel selects a true zero.
+func defaultMs(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // VertexContext is handed to a vertex program at every superstep.

@@ -41,15 +41,19 @@ func (ref TableRef) Rows() ([]any, error) {
 // table. Data is at rest and reusable.
 var RelationChannel = core.ChannelDescriptor{Name: "relation", Platform: Platform, Reusable: true, AtRest: true}
 
-// Config tunes the engine.
+// Config tunes the engine. The latency/slowdown fields treat 0 as "use the
+// default"; pass any negative value for a genuinely overhead-free
+// configuration.
 type Config struct {
 	// Workers bounds intra-query parallelism (the experiment sets the
 	// Postgres "parallel query" knob to 4). Default 4.
 	Workers int
-	// QueryLatencyMs is the per-query planning/roundtrip latency. Default 1.5.
+	// QueryLatencyMs is the per-query planning/roundtrip latency.
+	// Default 1.5; negative means none.
 	QueryLatencyMs float64
 	// SimSlowdown models the store's single-node capacity relative to the
-	// substrate host (see the streams driver). Default 2; 1 disables.
+	// substrate host (see the streams driver). Default 2; negative (or 1)
+	// disables.
 	SimSlowdown float64
 }
 
@@ -57,11 +61,17 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
-	if c.QueryLatencyMs == 0 {
+	switch {
+	case c.QueryLatencyMs == 0:
 		c.QueryLatencyMs = 1.5
+	case c.QueryLatencyMs < 0:
+		c.QueryLatencyMs = 0
 	}
-	if c.SimSlowdown == 0 {
+	switch {
+	case c.SimSlowdown == 0:
 		c.SimSlowdown = 2
+	case c.SimSlowdown < 0:
+		c.SimSlowdown = 1
 	}
 	return c
 }
@@ -366,6 +376,55 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 		}
 	}
 	return out, nil
+}
+
+// ApplyChain implements driverutil.ChainEngine. A chain whose head is a
+// declarative filter over a base table keeps the indexed-scan push-down of
+// the unfused path (the index narrows the scan before any row reaches the
+// kernel); the remaining steps fuse over the scan result in one pass.
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+	r, ok := in.(*rel)
+	if !ok {
+		return nil, fmt.Errorf("relstore: fused chain input is %T", in)
+	}
+	head := chain.Head()
+	var rows []any
+	if head.Kind == core.KindFilter && head.Params.Where != nil && head.UDF.Pred == nil && r.ref != nil {
+		t, err := r.ref.Store.Table(r.ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := t.Scan(nil, head.Params.Where, e.driver.Conf.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = make([]any, len(recs))
+		for i, rec := range recs {
+			rows[i] = rec
+		}
+		*counters[0] += int64(len(rows))
+		if sniff := kernel.StepSniff(0); sniff != nil {
+			for _, q := range rows {
+				sniff(q)
+			}
+		}
+		// Fuse the rest of the chain over the scan result, keeping any
+		// attached sniffers.
+		kernel = kernel.Tail(1)
+		counters = counters[1:]
+	} else {
+		var err error
+		rows, err = e.rowsOf(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	counts := make([]int64, kernel.Len())
+	out := kernel.Run(rows, counts, nil)
+	for s, c := range counts {
+		*counters[s] += c
+	}
+	return &rel{rows: out}, nil
 }
 
 func (e *engine) apply(op *core.Operator, in []*rel) (*rel, error) {

@@ -1,0 +1,174 @@
+package spark
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rheem/internal/core"
+)
+
+// narrowChainOps builds src -> 8 narrow ops (6 identity maps, 2 filters that
+// each keep 90%) over n int64 quanta, wired into a plan. The last op is the
+// stage's terminal output.
+func narrowChainOps(n int) []*core.Operator {
+	data := make([]any, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	p := core.NewPlan("narrow-chain")
+	ops := []*core.Operator{
+		{Kind: core.KindCollectionSource, Label: "src", Params: core.Params{Collection: data}},
+	}
+	for i := 0; i < 8; i++ {
+		var op *core.Operator
+		switch i {
+		case 2:
+			op = &core.Operator{Kind: core.KindFilter, Label: "f-mod10",
+				UDF: core.UDFs{Pred: func(q any) bool { return q.(int64)%10 != 0 }}}
+		case 5:
+			op = &core.Operator{Kind: core.KindFilter, Label: "f-mod7",
+				UDF: core.UDFs{Pred: func(q any) bool { return q.(int64)%7 != 0 }}}
+		default:
+			op = &core.Operator{Kind: core.KindMap, Label: "m-id",
+				UDF: core.UDFs{Map: func(q any) any { return q }}}
+		}
+		ops = append(ops, op)
+	}
+	for _, op := range ops {
+		p.Add(op)
+	}
+	p.Chain(ops...)
+	return ops
+}
+
+func chainStage(d *Driver, ops []*core.Operator) (*core.Stage, *core.Inputs) {
+	last := ops[len(ops)-1]
+	return &core.Stage{ID: 1, Platform: d.Name(), Ops: ops, TerminalOuts: []*core.Operator{last}}, core.NewInputs()
+}
+
+func TestConfigNoOverheadSentinel(t *testing.T) {
+	// Zero keeps the scaled-down cluster defaults (backward compatible)...
+	def := Config{}.withDefaults()
+	if def.ContextStartupMs != 150 || def.JobStartupMs != 12 || def.ShuffleLatencyMs != 4 {
+		t.Fatalf("zero config got defaults %+v", def)
+	}
+	// ...while the negative sentinel means a genuinely free operation and
+	// must NOT be silently overwritten with the default.
+	free := Config{ContextStartupMs: NoOverheadMs, JobStartupMs: NoOverheadMs, ShuffleLatencyMs: NoOverheadMs}.withDefaults()
+	if free.ContextStartupMs != 0 || free.JobStartupMs != 0 || free.ShuffleLatencyMs != 0 {
+		t.Fatalf("sentinel config not honored: %+v", free)
+	}
+	// Explicit positive values pass through untouched.
+	set := Config{ContextStartupMs: 7, JobStartupMs: 3, ShuffleLatencyMs: 1}.withDefaults()
+	if set.ContextStartupMs != 7 || set.JobStartupMs != 3 || set.ShuffleLatencyMs != 1 {
+		t.Fatalf("explicit config rewritten: %+v", set)
+	}
+}
+
+func TestPartitionCopiesInput(t *testing.T) {
+	src := []any{int64(1), int64(2), int64(3), int64(4)}
+	r := Partition(src, 2)
+	// Mutating the caller's slice after partitioning must not leak into the
+	// RDD (partitions used to alias the input's backing array).
+	src[0] = int64(99)
+	if got := r.Parts[0][0]; got != int64(1) {
+		t.Fatalf("partition aliases caller slice: got %v", got)
+	}
+	// Appending to one partition must not clobber its neighbor: the
+	// partitions are sliced with capacity clamped to their own window.
+	p0 := append(r.Parts[0], int64(42))
+	if r.Parts[1][0] != int64(3) {
+		t.Fatalf("append to part 0 bled into part 1: %v", r.Parts[1])
+	}
+	_ = p0
+}
+
+func TestFusedChainMatchesUnfused(t *testing.T) {
+	d := NewWithConfig(nil, fastConf())
+	ops := narrowChainOps(10_000)
+
+	stage, in := chainStage(d, ops)
+	outs, stats, err := d.Execute(stage, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.FusedChains) != 1 || len(stats.FusedChains[0]) != 8 {
+		t.Fatalf("expected one fused chain of 8 ops, got %v", stats.FusedChains)
+	}
+	fused := outs[ops[len(ops)-1]].Payload.(*RDD).Collect()
+
+	prev := core.SetFusionDisabled(true)
+	defer core.SetFusionDisabled(prev)
+	stage2, in2 := chainStage(d, ops)
+	outs2, stats2, err := d.Execute(stage2, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats2.FusedChains) != 0 {
+		t.Fatalf("fusion ran while disabled: %v", stats2.FusedChains)
+	}
+	unfused := outs2[ops[len(ops)-1]].Payload.(*RDD).Collect()
+
+	if !reflect.DeepEqual(fused, unfused) {
+		t.Fatalf("fused output (%d rows) differs from unfused (%d rows)", len(fused), len(unfused))
+	}
+	// Per-op observed cardinalities must also agree: the fused kernel counts
+	// each step's emissions exactly like per-op execution does.
+	for _, op := range ops {
+		if stats.OutCards[op] != stats2.OutCards[op] {
+			t.Fatalf("op %s cardinality: fused %d, unfused %d", op, stats.OutCards[op], stats2.OutCards[op])
+		}
+	}
+}
+
+func TestFusedChainUDFPanicFailsJob(t *testing.T) {
+	// A panicking UDF in the middle of a fused kernel must surface as a
+	// failed stage — not a lost partition or a deadlocked pool feeder.
+	d := NewWithConfig(nil, fastConf())
+	ops := narrowChainOps(10_000)
+	ops[4].UDF.Map = func(q any) any {
+		if q.(int64) == 7777 {
+			panic("boom at 7777")
+		}
+		return q
+	}
+	stage, in := chainStage(d, ops)
+	_, _, err := d.Execute(stage, in)
+	if err == nil {
+		t.Fatal("expected mid-chain UDF panic to fail the job")
+	}
+	if !strings.Contains(err.Error(), "UDF panic") || !strings.Contains(err.Error(), "boom at 7777") {
+		t.Fatalf("panic not surfaced as stage error: %v", err)
+	}
+}
+
+// BenchmarkSparkNarrowChain measures an 8-op narrow chain over 1M quanta,
+// fused (one single-pass kernel per partition) vs. unfused (one
+// materialization per operator).
+func BenchmarkSparkNarrowChain(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"fused", false}, {"unfused", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := core.SetFusionDisabled(mode.off)
+			defer core.SetFusionDisabled(prev)
+			d := NewWithConfig(nil, Config{
+				Parallelism:      8,
+				ContextStartupMs: NoOverheadMs,
+				JobStartupMs:     NoOverheadMs,
+				ShuffleLatencyMs: NoOverheadMs,
+			})
+			ops := narrowChainOps(1_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stage, in := chainStage(d, ops)
+				if _, _, err := d.Execute(stage, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

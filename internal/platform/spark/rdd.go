@@ -26,7 +26,10 @@ type RDD struct {
 // NewRDD wraps existing partitions.
 func NewRDD(parts [][]any) *RDD { return &RDD{Parts: parts} }
 
-// Partition splits data into n balanced partitions.
+// Partition splits data into n balanced partitions. The partitions get
+// their own backing array: callers hand in slices they still own (cached
+// plan collections, result-cache payloads), and partitions flow into
+// kernels that may compact in place — aliasing the input would corrupt it.
 func Partition(data []any, n int) *RDD {
 	if n < 1 {
 		n = 1
@@ -35,6 +38,8 @@ func Partition(data []any, n int) *RDD {
 	if len(data) == 0 {
 		return &RDD{Parts: parts}
 	}
+	owned := make([]any, len(data))
+	copy(owned, data)
 	chunk := (len(data) + n - 1) / n
 	for i := 0; i < n; i++ {
 		lo := i * chunk
@@ -45,7 +50,9 @@ func Partition(data []any, n int) *RDD {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		parts[i] = data[lo:hi]
+		// Three-index slices so appending to one partition can never bleed
+		// into the next one's data.
+		parts[i] = owned[lo:hi:hi]
 	}
 	return &RDD{Parts: parts}
 }

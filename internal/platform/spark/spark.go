@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rheem/internal/core"
@@ -17,20 +18,27 @@ const Platform = "spark"
 // Config tunes the engine's parallelism and its simulated cluster
 // scheduling overheads. The defaults are scaled down (roughly 20x) from
 // typical on-premise cluster latencies so laptop-scale experiments keep the
-// paper's cost shapes.
+// paper's cost shapes. The overhead fields treat 0 as "use the default";
+// pass any negative value (e.g. NoOverheadMs) for a genuinely overhead-free
+// configuration.
 type Config struct {
 	// Parallelism is the worker pool width and default partition count.
 	// Defaults to the number of CPUs.
 	Parallelism int
 	// ContextStartupMs is paid once, on the driver's first job (cluster
-	// context boot). Default 150.
+	// context boot). Default 150; negative means none.
 	ContextStartupMs float64
-	// JobStartupMs is paid per dispatched job (stage execution). Default 12.
+	// JobStartupMs is paid per dispatched job (stage execution). Default 12;
+	// negative means none.
 	JobStartupMs float64
 	// ShuffleLatencyMs is paid per wide dependency (shuffle barrier).
-	// Default 4.
+	// Default 4; negative means none.
 	ShuffleLatencyMs float64
 }
+
+// NoOverheadMs is the sentinel for "this overhead is really zero" in Config
+// fields whose zero value means "use the default".
+const NoOverheadMs = -1
 
 func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
@@ -39,16 +47,22 @@ func (c Config) withDefaults() Config {
 			c.Parallelism = 4 // partitions interleave when the host is smaller
 		}
 	}
-	if c.ContextStartupMs == 0 {
-		c.ContextStartupMs = 150
-	}
-	if c.JobStartupMs == 0 {
-		c.JobStartupMs = 12
-	}
-	if c.ShuffleLatencyMs == 0 {
-		c.ShuffleLatencyMs = 4
-	}
+	c.ContextStartupMs = defaultMs(c.ContextStartupMs, 150)
+	c.JobStartupMs = defaultMs(c.JobStartupMs, 12)
+	c.ShuffleLatencyMs = defaultMs(c.ShuffleLatencyMs, 4)
 	return c
+}
+
+// defaultMs resolves an overhead field: 0 selects the default, a negative
+// sentinel selects a true zero.
+func defaultMs(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // Driver is the spark platform driver.
@@ -310,6 +324,26 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 		}
 	}
 	return out, nil
+}
+
+// ApplyChain implements driverutil.ChainEngine: the whole fused chain runs
+// as one pool dispatch — one mapPartitions over the chain instead of one
+// per operator — so a stage of k narrow ops pays one scheduling round and
+// zero intermediate RDD materializations.
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+	r, ok := in.(*RDD)
+	if !ok {
+		return nil, fmt.Errorf("spark: fused chain input is %T, not an RDD", in)
+	}
+	out := make([][]any, len(r.Parts))
+	pool(len(r.Parts), e.width(), func(i int) {
+		counts := make([]int64, kernel.Len())
+		out[i] = kernel.Run(r.Parts[i], counts, nil)
+		for s, c := range counts {
+			atomic.AddInt64(counters[s], c)
+		}
+	})
+	return NewRDD(out), nil
 }
 
 func (e *engine) apply(op *core.Operator, in []*RDD, round int) (*RDD, error) {

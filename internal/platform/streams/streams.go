@@ -268,6 +268,24 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 	return observed, nil
 }
 
+// ApplyChain implements driverutil.ChainEngine: the whole narrow chain runs
+// as one eager single-threaded pass. The engine's iterators are already
+// fused in spirit (pull-based chaining), but the compiled kernel replaces k
+// FuncIterator virtual calls per quantum with one closure pass and counts
+// without the per-quantum observation wrapper.
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+	p, ok := in.(*pipe)
+	if !ok {
+		return nil, fmt.Errorf("streams: fused chain input is %T, not a pipeline", in)
+	}
+	counts := make([]int64, kernel.Len())
+	out := kernel.Run(p.materialize(), counts, nil)
+	for s, c := range counts {
+		*counters[s] += c
+	}
+	return slicePipe(out), nil
+}
+
 func countConsumersInStage(stage *core.Stage, op *core.Operator) int {
 	n := 0
 	for _, consumer := range op.Outputs() {

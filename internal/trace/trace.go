@@ -45,6 +45,9 @@ const (
 	KindCacheStore  = "cache-store"
 	KindCacheSpill  = "cache-spill"
 	KindCacheReload = "cache-reload"
+	// KindFusedPipeline marks a narrow-operator chain the engine compiled
+	// into one single-pass kernel; the span carries the fused op list.
+	KindFusedPipeline = "fused-pipeline"
 )
 
 // Attr is one key=value annotation on a span.
