@@ -19,12 +19,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"rheem"
+	"rheem/internal/cluster"
 	"rheem/internal/core"
 	"rheem/internal/jobs"
 	"rheem/internal/rescache"
@@ -56,7 +58,16 @@ func run() int {
 	cacheSpillDir := flag.String("cache-spill-dir", "", "spill store directory, re-indexed across restarts (default: temporary)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+	peers := flag.String("peers", "", "comma-separated advertise addresses of the other fleet peers (requires -advertise)")
+	advertise := flag.String("advertise", "", "host:port other peers reach this server at; empty runs single-node")
+	clusterRoute := flag.Bool("cluster-route", false, "proxy job submissions to their plan fingerprint's ring owner")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat (gossip) interval")
 	flag.Parse()
+
+	if *peers != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "rheem-server: -peers requires -advertise")
+		return 2
+	}
 
 	level, err := xlog.ParseLevel(*logLevel)
 	if err != nil {
@@ -75,13 +86,32 @@ func run() int {
 		if *cacheSpillBytes > 0 {
 			spillOpts := dfs.Options{Replication: 1, Nodes: 1}
 			if *cacheSpillDir != "" {
-				spillStore, err = dfs.New(*cacheSpillDir, spillOpts)
+				// Fleet peers sharing one parent directory get disjoint
+				// per-peer namespaces; whatever directory results is then
+				// exclusively flocked, so two processes pointed at the very
+				// same spill store refuse to start rather than silently
+				// corrupt each other's rescache-spill/<fp> files.
+				spillDir := *cacheSpillDir
+				if *advertise != "" {
+					spillDir = filepath.Join(spillDir, rescache.SpillNamespace(*advertise))
+				}
+				unlock, err := rescache.LockSpillDir(spillDir)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rheem-server:", err)
+					return 2
+				}
+				defer unlock()
+				spillStore, err = dfs.New(spillDir, spillOpts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rheem-server: cache spill store:", err)
+					return 2
+				}
 			} else {
 				spillStore, err = dfs.NewTemp(spillOpts)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "rheem-server: cache spill store:", err)
-				return 2
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rheem-server: cache spill store:", err)
+					return 2
+				}
 			}
 		}
 		cache = rescache.New(rescache.Options{
@@ -103,6 +133,29 @@ func run() int {
 		logger.Error("startup failed", "error", err)
 		return 1
 	}
+	// Cluster membership: -advertise turns this process into a fleet peer.
+	// The node heartbeats its peers, gossips cache invalidations, and backs
+	// the result cache's remote tier over the rendezvous ring.
+	var node *cluster.Node
+	if *advertise != "" {
+		node, err = cluster.New(cluster.Options{
+			Advertise:         *advertise,
+			Peers:             splitPeers(*peers),
+			HeartbeatInterval: *heartbeat,
+			Cache:             cache,
+			Metrics:           metrics,
+			Log:               xlog.New(os.Stderr, level).With("component", "cluster"),
+		})
+		if err != nil {
+			logger.Error("cluster startup failed", "error", err)
+			return 1
+		}
+		if cache != nil {
+			cache.SetRemote(node)
+		}
+		node.Start()
+		defer node.Stop()
+	}
 	srv := restapi.NewWithOptions(ctx, serverUDFs(), restapi.Options{
 		Jobs: jobs.Options{
 			QueueDepth: *queue,
@@ -112,6 +165,8 @@ func run() int {
 		MaxBodyBytes:  *maxBody,
 		TraceCapacity: *traceCap,
 		Log:           xlog.New(os.Stderr, level),
+		Cluster:       node,
+		ClusterRoute:  *clusterRoute,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -148,6 +203,10 @@ func run() int {
 		"workers", *workers, "queue", *queue, "level", level,
 		"cache_bytes", *cacheBytes, "cache_ttl", *cacheTTL,
 		"cache_spill_bytes", *cacheSpillBytes)
+	if node != nil {
+		logger.Info("cluster joined", "advertise", *advertise,
+			"peers", *peers, "route", *clusterRoute, "heartbeat", *heartbeat)
+	}
 
 	select {
 	case err := <-errCh:
@@ -177,6 +236,17 @@ func run() int {
 	}
 	logger.Info("drained cleanly")
 	return 0
+}
+
+// splitPeers parses the -peers list, dropping empty elements.
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // serverUDFs is the demonstration UDF library (shared shape with cmd/rheem).

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Rendezvous (highest-random-weight) hashing over plan fingerprints. Every
+// member scores each key independently — score(key, member) = first 8 bytes
+// of SHA-256(key, 0x00, member) — and the highest score owns the key. Two
+// peers with the same alive-set always agree on every owner (no ring state
+// to synchronize), and when a member dies only the keys it owned remap,
+// spread evenly across the survivors; everything else keeps its owner. That
+// minimal-disruption property is exactly what a cache wants from membership
+// churn: a rolling restart invalidates ~1/N of the fleet's affinity, not
+// all of it.
+
+// Owner returns the advertise address of the peer owning fp under the
+// current alive-set. The node itself is always a candidate, so a fleet of
+// one (or a fully-partitioned peer) owns everything locally.
+func (n *Node) Owner(fp string) string {
+	return rendezvousOwner(fp, n.aliveAddrs())
+}
+
+func rendezvousOwner(key string, members []string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range members {
+		s := rendezvousScore(key, m)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+func rendezvousScore(key, member string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}

@@ -1,0 +1,60 @@
+package rescache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// Spill-directory ownership. Two server processes pointed at the same
+// -cache-spill-dir would silently corrupt each other's rescache-spill/<fp>
+// files (same fingerprints, interleaved writes, cross-deleted blocks), so a
+// spill directory is exclusively owned: LockSpillDir takes an advisory flock
+// on a marker file and a second process refuses to start. Fleet peers on one
+// machine share a parent directory by namespacing per advertise address
+// (SpillNamespace).
+
+// SpillLockFile is the marker file flocked inside a spill directory.
+const SpillLockFile = ".rheem-spill.lock"
+
+// LockSpillDir acquires exclusive ownership of a spill directory (creating
+// it if needed), returning a release func. A directory already owned by a
+// live process yields an error naming the remedy; locks die with their
+// process, so a crashed owner never wedges the directory.
+func LockSpillDir(dir string) (release func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rescache: spill dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, SpillLockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rescache: spill lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rescache: spill dir %s is owned by another server process "+
+			"(give each local peer its own -cache-spill-dir, or set -advertise so the "+
+			"directory is namespaced per peer): %w", dir, err)
+	}
+	// Best-effort breadcrumb for operators inspecting the directory.
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}
+
+// SpillNamespace maps a peer advertise address to a filesystem-safe
+// subdirectory name, so fleet peers sharing one -cache-spill-dir parent get
+// disjoint spill stores.
+func SpillNamespace(advertise string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, advertise)
+}

@@ -1,0 +1,49 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLockSpillDirExclusive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+
+	release, err := LockSpillDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SpillLockFile)); err != nil {
+		t.Fatalf("lock marker: %v", err)
+	}
+
+	// A second owner (distinct file description, as a second process would
+	// hold) is refused, with the remedy in the message.
+	if _, err := LockSpillDir(dir); err == nil {
+		t.Fatal("second LockSpillDir succeeded on an owned directory")
+	} else if !strings.Contains(err.Error(), "-cache-spill-dir") {
+		t.Errorf("refusal does not name the remedy: %v", err)
+	}
+
+	// Release frees the directory for the next owner.
+	release()
+	release2, err := LockSpillDir(dir)
+	if err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestSpillNamespace(t *testing.T) {
+	for in, want := range map[string]string{
+		"10.1.2.3:8080":     "10.1.2.3_8080",
+		"host-a.local:9090": "host-a.local_9090",
+		"[::1]:8080":        "___1__8080",
+		"plain":             "plain",
+	} {
+		if got := SpillNamespace(in); got != want {
+			t.Errorf("SpillNamespace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

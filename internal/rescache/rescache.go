@@ -109,6 +109,10 @@ type Stats struct {
 	SpillDrops    int64 `json:"spill_drops"`
 	SpillErrors   int64 `json:"spill_errors"`
 
+	// SourceVersions is the per-source invalidation version table (details
+	// only) — comparing it across peers shows gossip convergence.
+	SourceVersions map[string]uint64 `json:"source_versions,omitempty"`
+
 	Details []EntryStats `json:"details,omitempty"`
 }
 
@@ -122,6 +126,8 @@ type Cache struct {
 	spilled  map[string]*spillEntry // disk tier index (fingerprint -> file)
 	versions map[string]uint64      // source dataset name -> current version
 	flights  map[string]*flight
+	fetches  map[string]*flight // in-flight remote fetches (see remote.go)
+	remote   RemoteTier         // fleet tier; nil on single-node servers
 
 	hits, misses, stores, evictions int64
 
@@ -154,6 +160,7 @@ func New(opts Options) *Cache {
 		spilled:  map[string]*spillEntry{},
 		versions: map[string]uint64{},
 		flights:  map[string]*flight{},
+		fetches:  map[string]*flight{},
 	}
 	m := opts.Metrics
 	m.Help("rheem_cache_hits_total", "Result-cache probe hits.")
@@ -200,12 +207,15 @@ func (c *Cache) SourceVersion(name string) uint64 {
 
 // Hit is a successful probe: the cached quanta plus the observed (exact)
 // cardinality and estimated saved cost. Reloaded marks a hit served from
-// the disk (spill) tier rather than RAM.
+// the disk (spill) tier rather than RAM; Remote marks one fetched from a
+// peer on the cluster tier.
 type Hit struct {
 	Quanta   []any
 	CostMs   float64
 	Bytes    int64
+	Sources  []core.SourceRef // read-only view; needed when re-serving the entry to a peer
 	Reloaded bool
+	Remote   bool
 }
 
 // Get probes the cache. A hit bumps the entry's use count (strengthening it
@@ -235,7 +245,7 @@ func (c *Cache) get(fp string, parent *trace.Span) (Hit, bool) {
 	c.hits++
 	c.mHits.Inc()
 	c.publishGaugesLocked()
-	return Hit{Quanta: e.quanta, CostMs: e.costMs, Bytes: e.bytes, Reloaded: reloaded}, true
+	return Hit{Quanta: e.quanta, CostMs: e.costMs, Bytes: e.bytes, Sources: e.sources, Reloaded: reloaded}, true
 }
 
 // Put stores a materialized result. Entries whose estimated size alone
@@ -383,7 +393,37 @@ func (c *Cache) Clear() int {
 func (c *Cache) InvalidateSource(name string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.versions[name]++
+	return c.advanceSourceLocked(name, c.versions[name]+1)
+}
+
+// AdvanceSource raises a source dataset's version to at least the given
+// value, dropping affected entries — the gossip merge: a peer that learns a
+// higher version via heartbeat converges to it. Versions never regress;
+// stale gossip is a no-op returning -1. Otherwise the number of dropped
+// entries is returned.
+func (c *Cache) AdvanceSource(name string, version uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version <= c.versions[name] {
+		return -1
+	}
+	return c.advanceSourceLocked(name, version)
+}
+
+// Versions snapshots the per-source version table (the heartbeat gossip
+// payload).
+func (c *Cache) Versions() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.versions))
+	for name, v := range c.versions {
+		out[name] = v
+	}
+	return out
+}
+
+func (c *Cache) advanceSourceLocked(name string, version uint64) int {
+	c.versions[name] = version
 	n := 0
 	for _, e := range c.entries {
 		for _, s := range e.sources {
@@ -424,6 +464,12 @@ func (c *Cache) Stats(details bool) Stats {
 		SpillDrops: c.spillDrops, SpillErrors: c.spillErrors,
 	}
 	if details {
+		if len(c.versions) > 0 {
+			st.SourceVersions = make(map[string]uint64, len(c.versions))
+			for name, v := range c.versions {
+				st.SourceVersions[name] = v
+			}
+		}
 		for _, e := range c.entries {
 			st.Details = append(st.Details, EntryStats{
 				Fingerprint: e.fp, Quanta: len(e.quanta), Bytes: e.bytes,

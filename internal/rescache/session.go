@@ -24,6 +24,7 @@ const ScanLabelPrefix = "cache-scan:"
 type Session struct {
 	cache *Cache
 	plan  *core.Plan
+	ctx   context.Context // the job's context, bounding remote-tier fetches
 	fps   map[*core.Operator]*core.FPInfo
 
 	claimed    []string
@@ -44,7 +45,7 @@ func (c *Cache) Begin(ctx context.Context, plan *core.Plan) *Session {
 	if c == nil {
 		return nil
 	}
-	s := &Session{cache: c, plan: plan, claimedSet: map[string]bool{}}
+	s := &Session{cache: c, plan: plan, ctx: ctx, claimedSet: map[string]bool{}}
 	probe := trace.FromContext(ctx).Start(trace.KindCacheProbe, "cache-probe")
 	s.substitute(probe)
 	s.flight(ctx, probe)
@@ -114,6 +115,10 @@ func (s *Session) substitute(probe *trace.Span) {
 		}
 		s.probed++
 		hit, ok := s.cache.get(info.Hash, probe)
+		if !ok {
+			// A local miss may still be a fleet hit: probe the ring owner.
+			hit, ok = s.cache.fetchRemote(s.ctx, info.Hash, probe)
+		}
 		if !ok {
 			continue
 		}
@@ -201,6 +206,9 @@ func (s *Session) apply(op *core.Operator, info *core.FPInfo, hit Hit, probe *tr
 	if hit.Reloaded {
 		sp.SetAttr("tier", "disk")
 	}
+	if hit.Remote {
+		sp.SetAttr("tier", "remote")
+	}
 	sp.End()
 	return removed
 }
@@ -261,7 +269,9 @@ func shortFP(fp string) string {
 // estimating its footprint through the binary quantum codec. It returns the
 // estimated bytes and whether the entry was admitted; results with
 // un-encodable quanta are not cached. Spill activity triggered by the store
-// (demotions making room) is traced under the span carried by ctx.
+// (demotions making room) is traced under the span carried by ctx. With a
+// fleet tier attached, the result is also written through to the
+// fingerprint's ring owner so any peer's later probe finds it.
 func (c *Cache) StoreResult(ctx context.Context, co *core.CacheOut, quanta []any) (int64, bool) {
 	if c == nil || co == nil {
 		return 0, false
@@ -270,5 +280,11 @@ func (c *Cache) StoreResult(ctx context.Context, co *core.CacheOut, quanta []any
 	if !ok {
 		return 0, false
 	}
-	return bytes, c.put(co.Fingerprint, quanta, co.CostMs, bytes, co.Sources, trace.FromContext(ctx))
+	admitted := c.put(co.Fingerprint, quanta, co.CostMs, bytes, co.Sources, trace.FromContext(ctx))
+	// Write-through happens even when the local tier rejected the entry
+	// (capacity budgets differ per peer); the owner decides for itself.
+	if remote := c.remoteTier(); remote != nil {
+		remote.Store(ctx, co.Fingerprint, quanta, co.CostMs, bytes, co.Sources)
+	}
+	return bytes, admitted
 }

@@ -45,6 +45,11 @@ const (
 	KindCacheStore  = "cache-store"
 	KindCacheSpill  = "cache-spill"
 	KindCacheReload = "cache-reload"
+	// KindCacheRemoteProbe / KindCacheRemoteHit cover the cluster tier: a
+	// local cache miss probing the fingerprint's ring owner over HTTP, and
+	// the successful fetch that adopted the remote entry locally.
+	KindCacheRemoteProbe = "cache-remote-probe"
+	KindCacheRemoteHit   = "cache-remote-hit"
 	// KindFusedPipeline marks a narrow-operator chain the engine compiled
 	// into one single-pass kernel; the span carries the fused op list.
 	KindFusedPipeline = "fused-pipeline"

@@ -37,21 +37,7 @@ func newCachedServer(t *testing.T, jobOpts jobs.Options) *Server {
 	if err := ctx.DFS.WriteLines("words.txt", []string{"a b a", "c a"}); err != nil {
 		t.Fatal(err)
 	}
-	udfs := latin.NewRegistry()
-	udfs.RegisterFlatMap("split", func(q any) []any {
-		fields := strings.Fields(q.(string))
-		out := make([]any, len(fields))
-		for i, w := range fields {
-			out[i] = core.KV{Key: w, Value: int64(1)}
-		}
-		return out
-	})
-	udfs.RegisterKey("wordOf", func(q any) any { return q.(core.KV).Key })
-	udfs.RegisterReduce("sum", func(a, b any) any {
-		ka, kb := a.(core.KV), b.(core.KV)
-		return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
-	})
-	return NewWithOptions(ctx, udfs, Options{Jobs: jobOpts})
+	return NewWithOptions(ctx, testUDFs(), Options{Jobs: jobOpts})
 }
 
 // submitAndWait submits a script as an async job and waits for success.

@@ -308,12 +308,17 @@ func TestSyncRunSharesAdmissionControl(t *testing.T) {
 	if rec := postScript(t, s, "/v1/jobs", gatedScript); rec.Code != http.StatusAccepted {
 		t.Fatalf("submit queued: %d %s", rec.Code, rec.Body)
 	}
-	// Both endpoints share the same admission control and must now reject.
+	// Both endpoints share the same admission control and must now reject,
+	// sending a Retry-After back-off hint with each 429.
 	if rec := postScript(t, s, "/v1/run", gatedScript); rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("sync /v1/run while saturated: %d %s", rec.Code, rec.Body)
+	} else if got := rec.Header().Get("Retry-After"); got != RetryAfterSeconds {
+		t.Fatalf("sync 429 Retry-After = %q, want %q", got, RetryAfterSeconds)
 	}
 	if rec := postScript(t, s, "/v1/jobs", gatedScript); rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("async submit while saturated: %d", rec.Code)
+	} else if got := rec.Header().Get("Retry-After"); got != RetryAfterSeconds {
+		t.Fatalf("async 429 Retry-After = %q, want %q", got, RetryAfterSeconds)
 	}
 }
 

@@ -19,6 +19,14 @@
 //	GET    /v1/metrics                            -> Prometheus text exposition
 //	GET    /v1/platforms                          -> {"platforms": [...]}
 //	GET    /v1/health                             -> 200 ok
+//
+// With a cluster node attached (Options.Cluster), the fleet's endpoints are
+// mounted too:
+//
+//	GET    /v1/cluster                            -> membership states + ring size
+//	POST   /v1/internal/cluster/heartbeat         -> peer gossip (membership + cache versions)
+//	GET    /v1/internal/cache/{fp}                -> stream one cache entry to a peer (binary framed)
+//	PUT    /v1/internal/cache/{fp}                -> accept a peer's write-through
 package restapi
 
 import (
@@ -26,14 +34,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"rheem"
+	"rheem/internal/cluster"
 	"rheem/internal/core"
 	"rheem/internal/jobs"
 	"rheem/internal/monitor"
+	"rheem/internal/telemetry"
 	"rheem/internal/trace"
 	"rheem/internal/xlog"
 	"rheem/latin"
@@ -54,6 +65,12 @@ type Options struct {
 	// Log receives server and job lifecycle events; nil disables logging.
 	// Jobs.Log defaults to it.
 	Log *xlog.Logger
+	// Cluster joins this server to a peer fleet: the heartbeat, internal
+	// cache-transfer, and cluster-status endpoints are mounted when set.
+	Cluster *cluster.Node
+	// ClusterRoute proxies job submissions to their plan fingerprint's ring
+	// owner for cache affinity (ignored without Cluster).
+	ClusterRoute bool
 }
 
 // Server wires a Context, a UDF registry, and a job manager into an
@@ -70,8 +87,13 @@ type Server struct {
 	MaxResultQuanta int
 	// MaxBodyBytes caps request bodies; <= 0 falls back to 1 MiB.
 	MaxBodyBytes int64
+	// Cluster is this server's fleet membership (nil when single-node).
+	Cluster *cluster.Node
+	// ClusterRoute enables owner-affinity job routing (see cluster.go).
+	ClusterRoute bool
 
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	mRouted *telemetry.Counter
 }
 
 // New creates a server with default options.
@@ -120,6 +142,14 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if opts.Cluster != nil {
+		s.Cluster = opts.Cluster
+		s.ClusterRoute = opts.ClusterRoute
+		ctx.Metrics.Help("rheem_cluster_routed_requests_total",
+			"Job submissions proxied to their fingerprint's ring owner.")
+		s.mRouted = ctx.Metrics.Counter("rheem_cluster_routed_requests_total")
+		s.mountCluster(opts.Cluster)
+	}
 	return s
 }
 
@@ -172,21 +202,27 @@ type jobOutcome struct {
 	snap monitor.Snapshot
 }
 
-func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compiled, bool) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
-	var req scriptRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// compile decodes and compiles a script request, returning the raw body
+// too so cluster routing can replay it to a peer verbatim.
+func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compiled, []byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return nil, false
+			return nil, nil, false
 		}
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return nil, false
+		return nil, nil, false
+	}
+	var req scriptRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, nil, false
 	}
 	if req.Script == "" {
 		httpError(w, http.StatusBadRequest, "empty script")
-		return nil, false
+		return nil, nil, false
 	}
 	compiled, err := latin.Compile(req.Script, s.UDFs)
 	if err != nil {
@@ -195,12 +231,12 @@ func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*latin.Compile
 			// The script stores/collects a dataset it never defined — a
 			// malformed request, not a server failure.
 			httpError(w, http.StatusBadRequest, "compile: %v", err)
-			return nil, false
+			return nil, nil, false
 		}
 		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
-		return nil, false
+		return nil, nil, false
 	}
-	return compiled, true
+	return compiled, raw, true
 }
 
 // runner builds the job body: execute the precompiled plan under the job's
@@ -268,13 +304,16 @@ func (s *Server) submit(compiled *latin.Compiled) (string, error) {
 // handleRun is the synchronous convenience: it submits through the same
 // job manager (sharing admission control and telemetry) and waits inline.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	compiled, ok := s.compile(w, r)
+	compiled, raw, ok := s.compile(w, r)
 	if !ok {
+		return
+	}
+	if s.maybeProxy(w, r, compiled, raw) {
 		return
 	}
 	id, err := s.submit(compiled)
 	if err != nil {
-		httpError(w, admissionStatus(err), "submit: %v", err)
+		s.submitError(w, err)
 		return
 	}
 	st, err := s.Jobs.Wait(r.Context(), id)
@@ -300,13 +339,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	compiled, ok := s.compile(w, r)
+	compiled, raw, ok := s.compile(w, r)
 	if !ok {
+		return
+	}
+	if s.maybeProxy(w, r, compiled, raw) {
 		return
 	}
 	id, err := s.submit(compiled)
 	if err != nil {
-		httpError(w, admissionStatus(err), "submit: %v", err)
+		s.submitError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -323,6 +365,23 @@ func admissionStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// RetryAfterSeconds is the back-off hint sent with 429 admission responses.
+// Queue pressure drains on job timescales, not packet timescales, so the
+// hint is a flat second rather than something cleverer.
+const RetryAfterSeconds = "1"
+
+// submitError renders an admission failure. 429 responses carry a
+// Retry-After header so well-behaved clients — and peer-proxied
+// submissions, whose proxy copies response headers through — back off
+// instead of hammering a saturated queue.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	code := admissionStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", RetryAfterSeconds)
+	}
+	httpError(w, code, "submit: %v", err)
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -479,7 +538,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	compiled, ok := s.compile(w, r)
+	compiled, _, ok := s.compile(w, r)
 	if !ok {
 		return
 	}

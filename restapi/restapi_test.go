@@ -21,6 +21,12 @@ func newTestServer(t *testing.T) *Server {
 	if err := ctx.DFS.WriteLines("words.txt", []string{"a b a", "c a"}); err != nil {
 		t.Fatal(err)
 	}
+	return New(ctx, testUDFs())
+}
+
+// testUDFs is the WordCount UDF set shared by every server-construction
+// helper in this package.
+func testUDFs() *latin.Registry {
 	udfs := latin.NewRegistry()
 	udfs.RegisterFlatMap("split", func(q any) []any {
 		fields := strings.Fields(q.(string))
@@ -35,7 +41,7 @@ func newTestServer(t *testing.T) *Server {
 		ka, kb := a.(core.KV), b.(core.KV)
 		return core.KV{Key: ka.Key, Value: ka.Value.(int64) + kb.Value.(int64)}
 	})
-	return New(ctx, udfs)
+	return udfs
 }
 
 func post(t *testing.T, s *Server, path, script string) *httptest.ResponseRecorder {

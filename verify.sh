@@ -35,3 +35,7 @@ go test -run=NONE -bench=BenchmarkEncodeQuantum -benchtime=1x ./internal/core
 go test -run=NONE -bench=NarrowChain -benchtime=1x ./internal/platform/spark ./internal/platform/flink
 RHEEM_NO_FUSE=1 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
+# Cluster smoke: three loopback peers, WordCount computed on one and served
+# from the distributed cache by another — asserts a remote cache hit via
+# rheem_cluster_remote_hits_total and matching results.
+go test -race -count=1 -run='TestClusterRemoteCacheHit' ./restapi
