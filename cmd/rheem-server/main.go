@@ -62,6 +62,8 @@ func run() int {
 	advertise := flag.String("advertise", "", "host:port other peers reach this server at; empty runs single-node")
 	clusterRoute := flag.Bool("cluster-route", false, "proxy job submissions to their plan fingerprint's ring owner")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat (gossip) interval")
+	scrapeTimeout := flag.Duration("cluster-scrape-timeout", 2*time.Second,
+		"per-peer timeout for fleet aggregation scrapes and trace stitching (/v1/cluster/metrics, /v1/cluster/overview)")
 	flag.Parse()
 
 	if *peers != "" && *advertise == "" {
@@ -167,6 +169,7 @@ func run() int {
 		Log:           xlog.New(os.Stderr, level),
 		Cluster:       node,
 		ClusterRoute:  *clusterRoute,
+		ScrapeTimeout: *scrapeTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -297,6 +297,14 @@ func (r *Result) Plan() *core.ExecPlan { return r.ep }
 // Monitor exposes the run's collected statistics.
 func (r *Result) Monitor() *monitor.Monitor { return r.mon }
 
+// Profile is the EXPLAIN ANALYZE-style resource report of an executed job:
+// per-stage observed wall/CPU/alloc/bytes paired with the optimizer's cost
+// estimate and mismatch factor.
+type Profile = executor.Profile
+
+// Profile builds the run's resource profile.
+func (r *Result) Profile() *Profile { return executor.BuildProfile(r.ep, r.inner) }
+
 // Optimize compiles a plan without executing it (the --explain path).
 func (c *Context) Optimize(p *core.Plan, options ...ExecOption) (*core.ExecPlan, error) {
 	ec := newExecConfig(options)

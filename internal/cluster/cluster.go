@@ -385,6 +385,23 @@ func (n *Node) Members() []PeerStatus {
 	return out
 }
 
+// AliveRemotes lists the alive peers besides this one — the scrape set for
+// fleet-wide aggregation endpoints.
+func (n *Node) AliveRemotes() []string {
+	var out []string
+	for _, addr := range n.aliveAddrs() {
+		if addr != n.opts.Advertise {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// FetchTimeout reports the per-peer timeout configured for internal
+// fetches; aggregation scrapes reuse it so one slow peer cannot stall a
+// fleet-wide answer.
+func (n *Node) FetchTimeout() time.Duration { return n.opts.FetchTimeout }
+
 // aliveAddrs is the ring membership: self plus every alive peer.
 func (n *Node) aliveAddrs() []string {
 	now := n.opts.now()

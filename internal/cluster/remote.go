@@ -10,6 +10,7 @@ import (
 
 	"rheem/internal/core"
 	"rheem/internal/rescache"
+	"rheem/internal/trace"
 )
 
 // The remote result-cache tier. Entries move between peers over two
@@ -50,6 +51,9 @@ func (n *Node) Fetch(ctx context.Context, fp string) (rescache.RemoteHit, bool) 
 		n.mRemoteErrors.Inc()
 		return rescache.RemoteHit{}, false
 	}
+	// Propagate the caller's span context so the serving peer can correlate
+	// this fetch with the origin job's trace.
+	trace.Inject(req.Header, trace.FromContext(ctx))
 	resp, err := n.client.Do(req)
 	if err != nil {
 		n.mRemoteErrors.Inc()
@@ -160,6 +164,9 @@ func (n *Node) HandleCacheGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.mServeHits.Inc()
+	if tid, parent, ok := trace.Extract(r.Header); ok {
+		n.log.Debug("serving cache entry", "fp", fp, "trace", tid, "parent_span", parent)
+	}
 	w.Header().Set("Content-Type", quantaContentType)
 	w.Header().Set(headerCostMs, strconv.FormatFloat(hit.CostMs, 'g', -1, 64))
 	w.Header().Set(headerBytes, strconv.FormatInt(hit.Bytes, 10))

@@ -306,8 +306,11 @@ func (e *QuantaEncoder) Encode(q any) error {
 	if _, err := e.w.Write(e.lenBuf[:n]); err != nil {
 		return err
 	}
-	_, err = e.w.Write(buf)
-	return err
+	if _, err := e.w.Write(buf); err != nil {
+		return err
+	}
+	addCodecBytes(n + len(buf))
+	return nil
 }
 
 // Flush completes the stream. An empty stream still gets its magic header,
@@ -388,6 +391,7 @@ func readBinaryFrames(br *bufio.Reader) ([]any, error) {
 		if _, err := io.ReadFull(br, frame); err != nil {
 			return nil, fmt.Errorf("%w: truncated frame: %v", ErrCorruptQuantum, err)
 		}
+		addCodecBytes(int(n))
 		q, err := DecodeQuantumBinary(frame)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,17 @@
+package core
+
+import "sync/atomic"
+
+// Process-wide codec byte counters: every framed binary quantum encoded or
+// decoded adds its payload size here. The executor samples the total around
+// each wave to attribute "bytes moved" to stages in per-job resource
+// profiles, and restapi exports it as a gauge-free running total. A single
+// process-wide counter (rather than per-stream plumbing) keeps the codec
+// hot path to one atomic add.
+var codecBytesMoved atomic.Int64
+
+// CodecBytesMoved returns the total framed-codec payload bytes encoded plus
+// decoded by this process since start.
+func CodecBytesMoved() int64 { return codecBytesMoved.Load() }
+
+func addCodecBytes(n int) { codecBytesMoved.Add(int64(n)) }

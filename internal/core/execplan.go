@@ -231,6 +231,16 @@ type StageStats struct {
 	// FusedChains lists the narrow-operator chains the engine executed as
 	// single-pass fused kernels (each entry is the chain's ops, head first).
 	FusedChains [][]*Operator
+
+	// Resource accounting for per-job profiles. CPUTime, AllocBytes, and
+	// BytesMoved are the stage's share of its wave's process-level deltas,
+	// attributed proportionally to stage wall time (exact when the wave ran
+	// a single stage); InQuanta counts the quanta read from the stage's
+	// input channels.
+	CPUTime    time.Duration
+	AllocBytes int64
+	BytesMoved int64
+	InQuanta   int64
 }
 
 // Inputs is the set of channels a stage execution reads: main dataflow

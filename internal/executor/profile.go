@@ -1,0 +1,147 @@
+package executor
+
+import (
+	"time"
+
+	"rheem/internal/core"
+)
+
+// EXPLAIN ANALYZE for jobs: BuildProfile folds a finished execution's stage
+// stats and the plan's cost estimates into one report pairing what the
+// optimizer predicted with what actually happened. The mismatch factors are
+// the feedstock for the learned-optimizer roadmap item — a stage whose
+// observed cost is 10x its estimate is exactly the training signal the
+// workload-aware cost model needs.
+
+// Profile is the resource report of one executed job.
+type Profile struct {
+	// PlanCostMs is the optimizer's estimated cost of the chosen plan
+	// (geomean of the final plan's cost interval).
+	PlanCostMs float64 `json:"plan_cost_ms"`
+	// WallMs is the summed wall time of all stages — concurrent stages
+	// count fully, so this can exceed the job's elapsed time.
+	WallMs float64 `json:"wall_ms"`
+	// MismatchFactor compares WallMs to PlanCostMs (>=1; 1 = perfect
+	// estimate; 0 when either side is unknown).
+	MismatchFactor float64        `json:"mismatch_factor"`
+	CPUMs          float64        `json:"cpu_ms"`
+	AllocBytes     int64          `json:"alloc_bytes"`
+	BytesMoved     int64          `json:"bytes_moved"`
+	QuantaIn       int64          `json:"quanta_in"`
+	QuantaOut      int64          `json:"quanta_out"`
+	Replans        int            `json:"replans"`
+	Stages         []StageProfile `json:"stages"`
+}
+
+// StageProfile pairs one stage's observed resources with its estimate.
+type StageProfile struct {
+	Stage    string `json:"stage"`
+	Platform string `json:"platform"`
+
+	WallMs     float64 `json:"wall_ms"`
+	CPUMs      float64 `json:"cpu_ms"`
+	AllocBytes int64   `json:"alloc_bytes"`
+	BytesMoved int64   `json:"bytes_moved"`
+	QuantaIn   int64   `json:"quanta_in"`
+	QuantaOut  int64   `json:"quanta_out"`
+
+	// EstCostMs is the optimizer's estimate for the stage (geomean of the
+	// summed cost intervals of the stage's non-covered operators), and
+	// MismatchFactor compares the observed wall time against it.
+	EstCostMs      float64     `json:"est_cost_ms"`
+	MismatchFactor float64     `json:"mismatch_factor"`
+	Operators      []OpProfile `json:"operators"`
+}
+
+// OpProfile is one operator's observed vs. estimated figures.
+type OpProfile struct {
+	Operator      string  `json:"operator"`
+	WallMs        float64 `json:"wall_ms"`
+	ObservedCard  int64   `json:"observed_card"`
+	EstimatedCard string  `json:"estimated_card,omitempty"`
+	// CardMismatch is the cardinality estimate's mismatch factor against
+	// the observed output (>=1; 0 when no estimate exists).
+	CardMismatch float64 `json:"card_mismatch,omitempty"`
+	EstCostMs    float64 `json:"est_cost_ms,omitempty"`
+}
+
+// mismatch reports how far observed strayed from estimated as a >=1 factor,
+// direction-insensitive; 0 when either side is unknown.
+func mismatch(observed, estimated float64) float64 {
+	if observed <= 0 || estimated <= 0 {
+		return 0
+	}
+	if observed > estimated {
+		return observed / estimated
+	}
+	return estimated / observed
+}
+
+// BuildProfile assembles the profile of a finished execution. Stage order
+// follows execution (res.Stats is appended wave by wave). Loop-body stages
+// execute through nested plans whose stats feed the monitor, not the
+// top-level result, so they are not itemized here; their resources still
+// appear in the enclosing wave's attribution.
+func BuildProfile(ep *core.ExecPlan, res *Result) *Profile {
+	if res == nil {
+		return nil
+	}
+	p := &Profile{Replans: res.Replans}
+	if ep != nil {
+		p.PlanCostMs = ep.Cost.Geomean()
+	}
+	for _, st := range res.Stats {
+		sp := StageProfile{
+			Stage:      st.Stage.String(),
+			Platform:   st.Stage.Platform,
+			WallMs:     float64(st.Runtime) / float64(time.Millisecond),
+			CPUMs:      float64(st.CPUTime) / float64(time.Millisecond),
+			AllocBytes: st.AllocBytes,
+			BytesMoved: st.BytesMoved,
+			QuantaIn:   st.InQuanta,
+		}
+		for _, op := range st.Stage.TerminalOuts {
+			sp.QuantaOut += st.OutCards[op]
+		}
+		var est core.CostInterval
+		haveEst := false
+		for _, op := range st.Stage.Ops {
+			a := st.Stage.ExecPlan.Assignments[op]
+			os, observed := st.Ops[op]
+			if a == nil && !observed {
+				continue
+			}
+			opp := OpProfile{Operator: op.String()}
+			if observed {
+				opp.WallMs = float64(os.Runtime) / float64(time.Millisecond)
+				opp.ObservedCard = os.OutCard
+			}
+			if a != nil {
+				opp.EstimatedCard = a.OutCard.String()
+				if observed {
+					opp.CardMismatch = a.OutCard.MismatchFactor(os.OutCard)
+				}
+				if a.CoveredBy == nil {
+					opp.EstCostMs = a.CostEst.Geomean()
+					est = est.Add(a.CostEst)
+					haveEst = true
+				}
+			}
+			sp.Operators = append(sp.Operators, opp)
+		}
+		if haveEst {
+			sp.EstCostMs = est.Geomean()
+		}
+		sp.MismatchFactor = mismatch(sp.WallMs, sp.EstCostMs)
+
+		p.WallMs += sp.WallMs
+		p.CPUMs += sp.CPUMs
+		p.AllocBytes += sp.AllocBytes
+		p.BytesMoved += sp.BytesMoved
+		p.QuantaIn += sp.QuantaIn
+		p.QuantaOut += sp.QuantaOut
+		p.Stages = append(p.Stages, sp)
+	}
+	p.MismatchFactor = mismatch(p.WallMs, p.PlanCostMs)
+	return p
+}

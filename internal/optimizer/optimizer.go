@@ -76,6 +76,11 @@ func Optimize(p *core.Plan, opts Options) (*core.ExecPlan, error) {
 	if opts.Registry == nil {
 		return nil, fmt.Errorf("optimizer: no registry")
 	}
+	// Help text for the optimizer's metric families (the metrics-lint gate
+	// requires every rheem_* family to carry one).
+	opts.Metrics.Help("rheem_optimizer_optimizations_total", "Plans successfully optimized.")
+	opts.Metrics.Help("rheem_optimizer_enumeration_seconds", "End-to-end optimization latency in seconds.")
+	opts.Metrics.Help("rheem_optimizer_plans_considered_total", "Candidate platform assignments enumerated.")
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,317 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strings"
+)
+
+// Structured registry snapshots: the JSON form served by
+// GET /v1/metrics?format=json and the unit the cluster metrics aggregator
+// scrapes and merges, so neither tests nor the aggregator re-parse the
+// Prometheus text exposition.
+
+// SeriesSnapshot is one series of a family at a point in time. Counter and
+// gauge series carry Value; histogram series carry per-bucket Counts (raw,
+// not cumulative; +Inf last), Sum, and Count.
+type SeriesSnapshot struct {
+	Labels string   `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    float64  `json:"sum,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// FamilySnapshot is one metric family with all its series.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Bounds []float64        `json:"bounds,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// RegistrySnapshot is a whole registry at a point in time, families and
+// series in deterministic (sorted) order.
+type RegistrySnapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot copies the registry's current state. Values are read without a
+// global pause (each series is atomic), so the snapshot is per-series — not
+// cross-series — consistent, which is all exposition needs.
+func (r *Registry) Snapshot() *RegistrySnapshot {
+	out := &RegistrySnapshot{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type famRef struct {
+		f      *family
+		series []metricSeries
+	}
+	fams := make([]famRef, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		fr := famRef{f: f}
+		for _, sig := range sigs {
+			fr.series = append(fr.series, f.series[sig])
+		}
+		fams = append(fams, fr)
+	}
+	r.mu.Unlock()
+
+	for _, fr := range fams {
+		if len(fr.series) == 0 {
+			continue
+		}
+		fam := FamilySnapshot{
+			Name:   fr.f.name,
+			Help:   fr.f.help,
+			Kind:   fr.f.kind,
+			Bounds: append([]float64(nil), fr.f.buckets...),
+		}
+		for _, s := range fr.series {
+			switch m := s.(type) {
+			case *Counter:
+				fam.Series = append(fam.Series, SeriesSnapshot{Labels: m.sig, Value: m.Value()})
+			case *Gauge:
+				fam.Series = append(fam.Series, SeriesSnapshot{Labels: m.sig, Value: m.Value()})
+			case *Histogram:
+				ss := SeriesSnapshot{Labels: m.sig, Sum: m.Sum()}
+				ss.Counts = make([]uint64, len(m.counts))
+				for i := range m.counts {
+					ss.Counts[i] = m.counts[i].Load()
+					ss.Count += ss.Counts[i]
+				}
+				fam.Series = append(fam.Series, ss)
+			}
+		}
+		out.Families = append(out.Families, fam)
+	}
+	return out
+}
+
+// Family returns the named family, or nil.
+func (rs *RegistrySnapshot) Family(name string) *FamilySnapshot {
+	if rs == nil {
+		return nil
+	}
+	for i := range rs.Families {
+		if rs.Families[i].Name == name {
+			return &rs.Families[i]
+		}
+	}
+	return nil
+}
+
+// GaugeValue sums the series of the named counter or gauge family; ok is
+// false when the family is absent or not a scalar kind.
+func (rs *RegistrySnapshot) GaugeValue(name string) (float64, bool) {
+	f := rs.Family(name)
+	if f == nil || f.Kind == "histogram" {
+		return 0, false
+	}
+	var total float64
+	for _, s := range f.Series {
+		total += s.Value
+	}
+	return total, true
+}
+
+// SeriesValue returns the value of the named family's first series whose
+// label signature contains needle (needle "" matches the first series).
+func (rs *RegistrySnapshot) SeriesValue(name, needle string) (float64, bool) {
+	f := rs.Family(name)
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Series {
+		if strings.Contains(s.Labels, needle) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format,
+// matching Registry.WriteProm's layout (cumulative histogram buckets).
+func (rs *RegistrySnapshot) WriteProm(w io.Writer) error {
+	for _, f := range rs.Families {
+		if len(f.Series) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := io.WriteString(w, "# HELP "+f.Name+" "+f.Help+"\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "# TYPE "+f.Name+" "+f.Kind+"\n"); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if f.Kind == "histogram" {
+				var cum uint64
+				for i, bound := range f.Bounds {
+					if i < len(s.Counts) {
+						cum += s.Counts[i]
+					}
+					line := seriesName(f.Name+"_bucket", joinSig(s.Labels, `le="`+fmtFloat(bound)+`"`))
+					if _, err := io.WriteString(w, line+" "+fmtUint(cum)+"\n"); err != nil {
+						return err
+					}
+				}
+				line := seriesName(f.Name+"_bucket", joinSig(s.Labels, `le="+Inf"`))
+				if _, err := io.WriteString(w, line+" "+fmtUint(s.Count)+"\n"); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(w, seriesName(f.Name+"_sum", s.Labels)+" "+fmtFloat(s.Sum)+"\n"); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(w, seriesName(f.Name+"_count", s.Labels)+" "+fmtUint(s.Count)+"\n"); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := io.WriteString(w, seriesName(f.Name, s.Labels)+" "+fmtFloat(s.Value)+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtUint(v uint64) string {
+	// strconv would do; keep the dependency surface of this file tiny.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// MergeSnapshots merges per-peer registry snapshots into one fleet view.
+// Counters and histograms are summed across peers by (family, labels): the
+// same logical series on two peers is one series whose value is the fleet
+// total. Gauges are point-in-time per-process facts (queue depth, heap
+// bytes), so each peer's series is emitted separately with a peer label
+// appended. Peers are folded in address order and output is sorted, so the
+// merge is deterministic. Histogram series whose bucket layout disagrees
+// with the family's first-seen layout are skipped.
+func MergeSnapshots(peers map[string]*RegistrySnapshot) *RegistrySnapshot {
+	addrs := make([]string, 0, len(peers))
+	for addr := range peers {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+
+	type famAcc struct {
+		help   string
+		kind   string
+		bounds []float64
+		series map[string]*SeriesSnapshot
+	}
+	fams := map[string]*famAcc{}
+	for _, addr := range addrs {
+		snap := peers[addr]
+		if snap == nil {
+			continue
+		}
+		for _, f := range snap.Families {
+			acc, ok := fams[f.Name]
+			if !ok {
+				acc = &famAcc{help: f.Help, kind: f.Kind, bounds: f.Bounds, series: map[string]*SeriesSnapshot{}}
+				fams[f.Name] = acc
+			}
+			if acc.help == "" {
+				acc.help = f.Help
+			}
+			if acc.kind != f.Kind {
+				continue // same-name different-kind across peers: keep first
+			}
+			for _, s := range f.Series {
+				labels := s.Labels
+				if f.Kind == "gauge" {
+					labels = joinSig(labels, `peer="`+escapeLabel(addr)+`"`)
+				}
+				cur, ok := acc.series[labels]
+				if !ok {
+					cp := s
+					cp.Labels = labels
+					cp.Counts = append([]uint64(nil), s.Counts...)
+					acc.series[labels] = &cp
+					continue
+				}
+				switch f.Kind {
+				case "counter":
+					cur.Value += s.Value
+				case "histogram":
+					if len(cur.Counts) != len(s.Counts) {
+						continue
+					}
+					for i := range s.Counts {
+						cur.Counts[i] += s.Counts[i]
+					}
+					cur.Sum += s.Sum
+					cur.Count += s.Count
+				}
+			}
+		}
+	}
+
+	out := &RegistrySnapshot{}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		acc := fams[name]
+		fam := FamilySnapshot{Name: name, Help: acc.help, Kind: acc.kind, Bounds: acc.bounds}
+		sigs := make([]string, 0, len(acc.series))
+		for sig := range acc.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			fam.Series = append(fam.Series, *acc.series[sig])
+		}
+		out.Families = append(out.Families, fam)
+	}
+	return out
+}
+
+// MissingHelp returns, sorted, the names of registered families matching
+// prefix that lack HELP text — the metrics-lint gate in verify.sh fails on
+// any hit.
+func (r *Registry) MissingHelp(prefix string) []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for name, f := range r.families {
+		if strings.HasPrefix(name, prefix) && f.help == "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

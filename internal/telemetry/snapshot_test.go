@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Help("t_jobs_total", "jobs")
+	r.Counter("t_jobs_total", L("state", "ok")).Add(3)
+	r.Gauge("t_depth").Set(7)
+	r.Histogram("t_lat", []float64{0.1, 1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if v, ok := snap.SeriesValue("t_jobs_total", `state="ok"`); !ok || v != 3 {
+		t.Fatalf("counter = %v, %v", v, ok)
+	}
+	if v, ok := snap.GaugeValue("t_depth"); !ok || v != 7 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	h := snap.Family("t_lat")
+	if h == nil || h.Kind != "histogram" {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	s := h.Series[0]
+	if s.Count != 1 || s.Sum != 0.5 || len(s.Counts) != 3 || s.Counts[1] != 1 {
+		t.Fatalf("histogram series = %+v", s)
+	}
+	if fam := snap.Family("t_jobs_total"); fam.Help != "jobs" {
+		t.Fatalf("help lost: %+v", fam)
+	}
+	// The snapshot's prom rendering must match the registry's.
+	var b strings.Builder
+	if err := snap.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != r.Expose() {
+		t.Fatalf("snapshot prom differs:\n%s\nvs\n%s", b.String(), r.Expose())
+	}
+}
+
+// fleetSnapshots builds three peer registries with a shared counter and
+// histogram plus a per-peer gauge.
+func fleetSnapshots() map[string]*RegistrySnapshot {
+	peers := map[string]*RegistrySnapshot{}
+	for i, addr := range []string{"p1:1", "p2:1", "p3:1"} {
+		r := NewRegistry()
+		r.Counter("t_jobs_total", L("state", "ok")).Add(float64(i + 1)) // 1+2+3 = 6
+		r.Gauge("t_depth").Set(float64(10 * (i + 1)))
+		h := r.Histogram("t_lat", []float64{0.1, 1})
+		h.Observe(0.05)
+		h.Observe(0.5)
+		peers[addr] = r.Snapshot()
+	}
+	return peers
+}
+
+func TestMergeSnapshotsSumsCountersAndHistograms(t *testing.T) {
+	merged := MergeSnapshots(fleetSnapshots())
+	if v, ok := merged.SeriesValue("t_jobs_total", `state="ok"`); !ok || v != 6 {
+		t.Fatalf("merged counter = %v, %v, want 6", v, ok)
+	}
+	h := merged.Family("t_lat")
+	if len(h.Series) != 1 {
+		t.Fatalf("histogram series = %d, want 1 merged", len(h.Series))
+	}
+	s := h.Series[0]
+	if s.Count != 6 || s.Counts[0] != 3 || s.Counts[1] != 3 {
+		t.Fatalf("merged histogram = %+v", s)
+	}
+}
+
+func TestMergeSnapshotsEmitsGaugesPerPeer(t *testing.T) {
+	merged := MergeSnapshots(fleetSnapshots())
+	g := merged.Family("t_depth")
+	if len(g.Series) != 3 {
+		t.Fatalf("gauge series = %d, want one per peer", len(g.Series))
+	}
+	byPeer := map[string]float64{}
+	for _, s := range g.Series {
+		if !strings.Contains(s.Labels, `peer="`) {
+			t.Fatalf("gauge series lacks peer label: %q", s.Labels)
+		}
+		byPeer[s.Labels] = s.Value
+	}
+	if byPeer[`peer="p2:1"`] != 20 {
+		t.Fatalf("p2 gauge = %v, want 20 (have %v)", byPeer[`peer="p2:1"`], byPeer)
+	}
+	// GaugeValue sums across peers: the fleet-wide total.
+	if v, _ := merged.GaugeValue("t_depth"); v != 60 {
+		t.Fatalf("summed gauge = %v, want 60", v)
+	}
+}
+
+func TestMergeSnapshotsSkipsMismatchedBuckets(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("t_lat", []float64{0.1, 1}).Observe(0.5)
+	b.Histogram("t_lat", []float64{0.1}).Observe(0.5)
+	merged := MergeSnapshots(map[string]*RegistrySnapshot{"a:1": a.Snapshot(), "b:1": b.Snapshot()})
+	s := merged.Family("t_lat").Series[0]
+	if s.Count != 1 {
+		t.Fatalf("mismatched-bucket series merged anyway: %+v", s)
+	}
+}
+
+func TestMissingHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Help("t_documented_total", "has help")
+	r.Counter("t_documented_total").Inc()
+	r.Counter("t_bare_total").Inc()
+	r.Counter("other_bare_total").Inc()
+	got := r.MissingHelp("t_")
+	if len(got) != 1 || got[0] != "t_bare_total" {
+		t.Fatalf("MissingHelp = %v, want [t_bare_total]", got)
+	}
+	var nilReg *Registry
+	if nilReg.MissingHelp("x") != nil {
+		t.Fatal("nil registry reported missing help")
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"rheem/internal/telemetry"
+)
+
+// Cross-peer trace propagation, W3C-traceparent style but with the two
+// fields the fleet actually needs carried as separate headers: the
+// originating tracer's id and the span under which the remote work should
+// hang. A peer that serves a propagated request opens its own tracer and
+// links it back with SetRemoteParent; the origin later grafts the served
+// tree under the recorded parent span (see Graft).
+
+const (
+	// TraceIDHeader carries the origin tracer's fleet-wide id.
+	TraceIDHeader = "X-Rheem-Trace-Id"
+	// ParentSpanHeader carries the id of the origin span that caused the
+	// outbound request.
+	ParentSpanHeader = "X-Rheem-Parent-Span"
+)
+
+// traceSeq de-dupes trace ids when crypto/rand is unavailable.
+var traceSeq atomic.Uint64
+
+// newTraceID mints a 16-hex-digit random id, falling back to a process-local
+// counter if the system's entropy source fails.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "seq-" + strconv.FormatUint(traceSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Inject writes s's trace context into h. A nil span (tracing disabled)
+// writes nothing, so callers can inject unconditionally.
+func Inject(h http.Header, s *Span) {
+	if s == nil {
+		return
+	}
+	h.Set(TraceIDHeader, s.tracer.TraceID())
+	h.Set(ParentSpanHeader, strconv.Itoa(s.id))
+}
+
+// Extract reads trace context from h. ok is false when the request carries
+// no (or malformed) context; a missing parent span defaults to the remote
+// root (id 1).
+func Extract(h http.Header) (traceID string, parentSpan int, ok bool) {
+	traceID = h.Get(TraceIDHeader)
+	if traceID == "" {
+		return "", 0, false
+	}
+	parentSpan = 1
+	if raw := h.Get(ParentSpanHeader); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return "", 0, false
+		}
+		parentSpan = n
+	}
+	return traceID, parentSpan, true
+}
+
+// RegisterMetricsHelp documents the tracer's metric families on reg, so the
+// metrics-lint gate (every rheem_* family carries help text) passes for
+// registries that only see spans.
+func RegisterMetricsHelp(reg *telemetry.Registry) {
+	reg.Help("rheem_span_duration_seconds", "Ended span durations by span kind.")
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	tr := New(KindJob, "job-p")
+	sp := tr.Root().Start(KindProxy, "proxy:peer-1")
+	h := http.Header{}
+	Inject(h, sp)
+	if h.Get(TraceIDHeader) != tr.TraceID() {
+		t.Fatalf("trace id header = %q, want %q", h.Get(TraceIDHeader), tr.TraceID())
+	}
+	tid, parent, ok := Extract(h)
+	if !ok || tid != tr.TraceID() || parent != sp.ID() {
+		t.Fatalf("Extract = (%q, %d, %v), want (%q, %d, true)", tid, parent, ok, tr.TraceID(), sp.ID())
+	}
+}
+
+func TestInjectNilSpanWritesNothing(t *testing.T) {
+	h := http.Header{}
+	Inject(h, nil)
+	if len(h) != 0 {
+		t.Fatalf("nil-span Inject wrote headers: %v", h)
+	}
+	if _, _, ok := Extract(h); ok {
+		t.Fatal("Extract succeeded on empty headers")
+	}
+}
+
+func TestExtractRejectsMalformedParent(t *testing.T) {
+	h := http.Header{}
+	h.Set(TraceIDHeader, "abc")
+	h.Set(ParentSpanHeader, "not-a-number")
+	if _, _, ok := Extract(h); ok {
+		t.Fatal("Extract accepted a malformed parent span")
+	}
+	// A missing parent span defaults to the remote root.
+	h.Del(ParentSpanHeader)
+	if _, parent, ok := Extract(h); !ok || parent != 1 {
+		t.Fatalf("Extract = (%d, %v), want (1, true)", parent, ok)
+	}
+}
+
+func TestTraceIDsAreUnique(t *testing.T) {
+	a, b := New(KindJob, "a"), New(KindJob, "b")
+	if a.TraceID() == "" || a.TraceID() == b.TraceID() {
+		t.Fatalf("trace ids not unique: %q vs %q", a.TraceID(), b.TraceID())
+	}
+}
+
+func TestSnapshotCarriesLinkage(t *testing.T) {
+	tr := New(KindJob, "remote-job")
+	tr.SetRemoteParent("origin-trace", 7)
+	snap := tr.Snapshot()
+	if snap.TraceID != tr.TraceID() {
+		t.Fatalf("snapshot trace id = %q, want %q", snap.TraceID, tr.TraceID())
+	}
+	if snap.ParentTrace != "origin-trace" || snap.ParentSpan != 7 {
+		t.Fatalf("snapshot linkage = (%q, %d)", snap.ParentTrace, snap.ParentSpan)
+	}
+}
+
+// buildOriginAndRemote fabricates the two halves of a routed job's trace:
+// the origin's proxy tree and the serving peer's execution tree.
+func buildOriginAndRemote(t *testing.T) (origin *SpanJSON, proxyID int, remote *SpanJSON) {
+	t.Helper()
+	otr := New(KindJob, "job:origin")
+	proxy := otr.Root().Start(KindProxy, "proxy:peer-b")
+	proxy.SetAttr("peer", "peer-b")
+	proxy.SetAttr("remote_job", "j9-beef")
+	proxy.End()
+	otr.Root().End()
+
+	rtr := New(KindJob, "job:remote")
+	rtr.SetRemoteParent(otr.TraceID(), proxy.ID())
+	wave := rtr.Root().Start(KindWave, "wave-0")
+	st := wave.Start(KindStage, "Stage0@streams")
+	st.End()
+	wave.End()
+	rtr.Root().End()
+	return otr.Snapshot(), proxy.ID(), rtr.Snapshot()
+}
+
+func TestGraftBuildsOneTree(t *testing.T) {
+	origin, proxyID, remote := buildOriginAndRemote(t)
+	if !origin.Graft(proxyID, remote, "peer-b") {
+		t.Fatal("Graft did not find the proxy span")
+	}
+	// The remote subtree hangs under the proxy span, every grafted span
+	// carries the peer attr, and ids stay unique across the stitched tree.
+	proxy := origin.FindByID(proxyID)
+	if len(proxy.Children) != 1 {
+		t.Fatalf("proxy children = %d, want 1", len(proxy.Children))
+	}
+	remoteStage := origin.Find(KindStage)
+	if remoteStage == nil {
+		t.Fatal("remote stage span not reachable from origin root")
+	}
+	if peer, ok := remoteStage.Attr("peer"); !ok || peer != "peer-b" {
+		t.Fatalf("grafted stage peer attr = %q, %v", peer, ok)
+	}
+	seen := map[int]bool{}
+	origin.each(func(s *SpanJSON) {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d after graft", s.ID)
+		}
+		seen[s.ID] = true
+	})
+	if remote.ParentTrace != "" || remote.ParentSpan != 0 {
+		t.Fatal("grafted root kept its remote-parent linkage")
+	}
+}
+
+func TestGraftUnknownParent(t *testing.T) {
+	origin, _, remote := buildOriginAndRemote(t)
+	if origin.Graft(9999, remote, "peer-b") {
+		t.Fatal("Graft succeeded for an unknown parent id")
+	}
+}
+
+func TestStitchedChromeTraceCarriesPeer(t *testing.T) {
+	origin, proxyID, remote := buildOriginAndRemote(t)
+	if !origin.Graft(proxyID, remote, "peer-b") {
+		t.Fatal("graft failed")
+	}
+	events := origin.ChromeTrace()
+	found := false
+	for _, ev := range events {
+		if ev.Args["peer"] == "peer-b" && ev.Name == "Stage0@streams" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no peer-attributed remote stage in %d chrome events", len(events))
+	}
+}
+
+func TestChromeLaneAssignment(t *testing.T) {
+	tr := New(KindJob, "lanes")
+	root := tr.Root()
+	// Two overlapping siblings must take different lanes; a third sibling
+	// disjoint from both may reuse the first one's lane.
+	a := root.Start(KindStage, "a")
+	b := root.Start(KindStage, "b")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b.End()
+	time.Sleep(2 * time.Millisecond)
+	c := root.Start(KindStage, "c")
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	root.End()
+	byName := map[string]ChromeEvent{}
+	for _, ev := range tr.ChromeTrace() {
+		byName[ev.Name] = ev
+	}
+	if byName["a"].Tid == byName["b"].Tid {
+		t.Fatal("overlapping siblings a and b share a lane")
+	}
+	if byName["c"].Tid != byName["a"].Tid {
+		t.Fatalf("disjoint sibling c got lane %d, want a's lane %d", byName["c"].Tid, byName["a"].Tid)
+	}
+}
+
+// TestNilSpanHotPathConcurrent hammers the disabled-tracing no-op path from
+// many goroutines; run under -race this proves the nil fast paths touch no
+// shared state.
+func TestNilSpanHotPathConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var s *Span
+			for i := 0; i < 1000; i++ {
+				child := s.Start(KindStage, "s"+strconv.Itoa(g))
+				child.SetAttr("k", "v")
+				child.SetInt("n", int64(i))
+				child.SetFloat("f", 1.5)
+				child.AddTimed(KindOperator, "op", time.Time{}, time.Time{})
+				child.End()
+				if child.ID() != 0 {
+					t.Errorf("nil span id = %d", child.ID())
+				}
+				h := http.Header{}
+				Inject(h, child)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package trace
+
+// Snapshot stitching: an origin peer that proxied a job holds a local tree
+// whose proxy span names the serving peer and the remote job id; fetching
+// the remote tree and grafting it under that span yields one distributed
+// tree that renders (native or Chrome) exactly like a local one.
+
+// FindWithAttr returns every span (depth-first) carrying the given
+// attribute key.
+func (sj *SpanJSON) FindWithAttr(key string) []*SpanJSON {
+	if sj == nil {
+		return nil
+	}
+	var out []*SpanJSON
+	if _, ok := sj.Attr(key); ok {
+		out = append(out, sj)
+	}
+	for _, c := range sj.Children {
+		out = append(out, c.FindWithAttr(key)...)
+	}
+	return out
+}
+
+// FindByID returns the span with the given id, or nil.
+func (sj *SpanJSON) FindByID(id int) *SpanJSON {
+	if sj == nil {
+		return nil
+	}
+	if sj.ID == id {
+		return sj
+	}
+	for _, c := range sj.Children {
+		if hit := c.FindByID(id); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Graft attaches remote as a child of the span with id parentID. Every
+// grafted span gains a peer attribute naming the serving peer, and remote
+// ids are renumbered past the local tree's maximum so ids stay unique
+// within the stitched tree. Reports whether the parent was found; the
+// remote tree is modified in place either way only on success.
+func (sj *SpanJSON) Graft(parentID int, remote *SpanJSON, peer string) bool {
+	if sj == nil || remote == nil {
+		return false
+	}
+	parent := sj.FindByID(parentID)
+	if parent == nil {
+		return false
+	}
+	offset := sj.maxID()
+	remote.each(func(s *SpanJSON) {
+		s.ID += offset
+		s.Attrs = append(s.Attrs, Attr{Key: "peer", Value: peer})
+	})
+	// The remote root's linkage fields described its relation to us; inside
+	// the stitched tree the tree structure says the same thing.
+	remote.ParentTrace, remote.ParentSpan = "", 0
+	parent.Children = append(parent.Children, remote)
+	return true
+}
+
+func (sj *SpanJSON) maxID() int {
+	max := 0
+	sj.each(func(s *SpanJSON) {
+		if s.ID > max {
+			max = s.ID
+		}
+	})
+	return max
+}
+
+func (sj *SpanJSON) each(fn func(*SpanJSON)) {
+	if sj == nil {
+		return
+	}
+	fn(sj)
+	for _, c := range sj.Children {
+		c.each(fn)
+	}
+}

@@ -53,6 +53,11 @@ const (
 	// KindFusedPipeline marks a narrow-operator chain the engine compiled
 	// into one single-pass kernel; the span carries the fused op list.
 	KindFusedPipeline = "fused-pipeline"
+	// KindProxy marks a -cluster-route hop: the origin peer forwarding a
+	// submission to the fingerprint's ring owner. Its attrs name the peer
+	// and the remote job id, and the serving peer's tree is grafted under
+	// it when the origin renders the stitched trace.
+	KindProxy = "proxy"
 )
 
 // Attr is one key=value annotation on a span.
@@ -72,6 +77,13 @@ type Tracer struct {
 	mu     sync.Mutex
 	nextID int
 	root   *Span
+
+	// traceID identifies this tree fleet-wide; parentTrace/parentSpan link
+	// a serving peer's tree back to the origin span that caused it (set via
+	// SetRemoteParent when a request arrives with propagation headers).
+	traceID     string
+	parentTrace string
+	parentSpan  int
 }
 
 // Span is one timed node of the tree. Create children with Start (live
@@ -90,10 +102,32 @@ type Span struct {
 
 // New opens a tracer whose root span has the given kind and name.
 func New(kind, name string) *Tracer {
-	t := &Tracer{}
+	t := &Tracer{traceID: newTraceID()}
 	t.root = &Span{tracer: t, id: 1, kind: kind, name: name, start: time.Now()}
 	t.nextID = 1
 	return t
+}
+
+// TraceID returns the tracer's fleet-wide identifier ("" for nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// SetRemoteParent links this tree under a span of a remote tracer: the
+// serving peer calls it with the trace context extracted from the incoming
+// request, and the snapshot then carries the link so the origin can graft
+// the tree in place.
+func (t *Tracer) SetRemoteParent(traceID string, parentSpan int) {
+	if t == nil || traceID == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.parentTrace = traceID
+	t.parentSpan = parentSpan
 }
 
 // Root returns the tracer's root span (nil for a nil tracer).
@@ -121,6 +155,15 @@ func NewContext(ctx context.Context, s *Span) context.Context {
 }
 
 type ctxKey struct{}
+
+// ID returns the span's id within its tracer (0 for nil). Ids are assigned
+// once at creation, so no lock is needed.
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
 
 // Start opens a child span. It is deliberately non-variadic: on a nil
 // receiver it returns nil without touching its arguments, so hot paths
@@ -224,6 +267,13 @@ type SpanJSON struct {
 	Unfinished bool        `json:"unfinished,omitempty"`
 	Attrs      []Attr      `json:"attrs,omitempty"`
 	Children   []*SpanJSON `json:"children,omitempty"`
+
+	// Root-only linkage: the tracer's fleet-wide id, and — when this tree
+	// was produced on behalf of a remote caller — the caller's trace id and
+	// parent span id.
+	TraceID     string `json:"trace_id,omitempty"`
+	ParentTrace string `json:"parent_trace,omitempty"`
+	ParentSpan  int    `json:"parent_span,omitempty"`
 }
 
 // Snapshot deep-copies the current tree into its serializable form. Open
@@ -235,7 +285,11 @@ func (t *Tracer) Snapshot() *SpanJSON {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.root.snapshot(time.Now())
+	out := t.root.snapshot(time.Now())
+	out.TraceID = t.traceID
+	out.ParentTrace = t.parentTrace
+	out.ParentSpan = t.parentSpan
+	return out
 }
 
 func (s *Span) snapshot(now time.Time) *SpanJSON {

@@ -2,11 +2,13 @@ package restapi
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 
 	"rheem/internal/cluster"
 	"rheem/internal/core"
+	"rheem/internal/trace"
 	"rheem/latin"
 )
 
@@ -71,6 +73,22 @@ func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, compiled *la
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(RoutedFromHeader, s.Cluster.Self())
+	// Async submissions get an origin-side trace: a root job span with one
+	// proxy child covering the hop. The proxied request carries the proxy
+	// span's context, so the owner links its own tree under it, and the
+	// response's job id keys this trace locally — GET /v1/jobs/{id}/trace on
+	// this peer then fetches and grafts the remote subtree (fleet.go).
+	// Synchronous /v1/run responses carry no job id to key a trace on, so
+	// they proxy untraced.
+	var tr *trace.Tracer
+	var proxySp *trace.Span
+	if r.URL.Path == "/v1/jobs" {
+		tr = trace.New(trace.KindJob, "job:"+compiled.Plan.Name)
+		tr.Metrics = s.Ctx.Metrics
+		proxySp = tr.Root().Start(trace.KindProxy, "proxy:"+owner)
+		proxySp.SetAttr("peer", owner)
+		trace.Inject(req.Header, proxySp)
+	}
 	resp, err := proxyClient.Do(req)
 	if err != nil {
 		s.Log.Warn("cluster route failed, serving locally", "owner", owner, "error", err)
@@ -84,10 +102,39 @@ func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, compiled *la
 	}
 	w.Header().Set(ServedByHeader, owner)
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if tr != nil {
+		s.relayTraced(w, resp, tr, proxySp)
+	} else {
+		_, _ = io.Copy(w, resp.Body)
+	}
 	s.mRouted.Inc()
 	s.Log.Debug("routed submission", "owner", owner, "fp", fp[:12], "path", r.URL.Path)
 	return true
+}
+
+// relayTraced copies a proxied submission response through while capturing
+// the owner's job id, then retains the origin-side trace under that id.
+// The body is read in full first — it is a SubmitResponse, not a result
+// payload. Non-202 responses (e.g. a saturated owner's 429) relay without
+// retaining a trace: no job exists to stitch against.
+func (s *Server) relayTraced(w http.ResponseWriter, resp *http.Response, tr *trace.Tracer, proxySp *trace.Span) {
+	body, err := io.ReadAll(resp.Body)
+	_, _ = w.Write(body)
+	proxySp.SetAttr("status", resp.Status)
+	proxySp.End()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		return
+	}
+	var sub SubmitResponse
+	if json.Unmarshal(body, &sub) != nil || sub.ID == "" {
+		return
+	}
+	proxySp.SetAttr("remote_job", sub.ID)
+	root := tr.Root()
+	root.SetAttr("routed", "true")
+	root.SetAttr("job_id", sub.ID)
+	root.End()
+	s.Traces.Put(sub.ID, tr)
 }
 
 // mountCluster wires the fleet's internal endpoints into the mux.
@@ -96,4 +143,6 @@ func (s *Server) mountCluster(node *cluster.Node) {
 	s.mux.HandleFunc("GET /v1/internal/cache/{fp}", node.HandleCacheGet)
 	s.mux.HandleFunc("PUT /v1/internal/cache/{fp}", node.HandleCachePut)
 	s.mux.HandleFunc("GET /v1/cluster", node.HandleStatus)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
+	s.mux.HandleFunc("GET /v1/cluster/overview", s.handleClusterOverview)
 }

@@ -1,0 +1,228 @@
+package restapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rheem/internal/cluster"
+	"rheem/internal/jobs"
+	"rheem/internal/telemetry"
+	"rheem/internal/trace"
+)
+
+// TestClusterMetricsAggregation runs one job on every peer and asserts the
+// fleet-merged exposition: summed counters equal the per-peer sum, gauges
+// split per peer, and the overview lists every peer alive.
+func TestClusterMetricsAggregation(t *testing.T) {
+	peers := startFleet(t, 3, false)
+	for _, p := range peers {
+		wireRunCounts(t, p.addr)
+	}
+
+	resp, raw := wireReq(t, http.MethodGet, "http://"+peers[0].addr+"/v1/cluster/metrics?format=json", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster metrics: %d %s", resp.StatusCode, raw)
+	}
+	var cm ClusterMetricsResponse
+	if err := json.Unmarshal(raw, &cm); err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Peers) != 3 || len(cm.Unreachable) != 0 {
+		t.Fatalf("peers = %v, unreachable = %v", cm.Peers, cm.Unreachable)
+	}
+	merged := &telemetry.RegistrySnapshot{Families: cm.Families}
+	// One succeeded job per peer: the merged counter is the fleet sum.
+	if v, ok := merged.SeriesValue("rheem_jobs_total", `state="succeeded"`); !ok || v != 3 {
+		t.Fatalf("merged rheem_jobs_total succeeded = %v, %v, want 3", v, ok)
+	}
+	// Gauges are not summed: one series per peer, each labeled.
+	depth := merged.Family("rheem_jobs_queue_depth")
+	if depth == nil || len(depth.Series) != 3 {
+		t.Fatalf("queue depth gauge = %+v, want 3 per-peer series", depth)
+	}
+	for _, s := range depth.Series {
+		if !strings.Contains(s.Labels, `peer="`) {
+			t.Fatalf("gauge series lacks peer label: %q", s.Labels)
+		}
+	}
+
+	// The prom rendering of the same merge carries the peer labels too.
+	resp, raw = wireReq(t, http.MethodGet, "http://"+peers[1].addr+"/v1/cluster/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster metrics prom: %d", resp.StatusCode)
+	}
+	body := string(raw)
+	if !strings.Contains(body, `rheem_jobs_total{state="succeeded"} 3`) {
+		t.Fatalf("prom merge lacks summed counter:\n%s", body)
+	}
+	if !strings.Contains(body, `rheem_jobs_queue_depth{peer="`) {
+		t.Fatalf("prom merge lacks peer-labeled gauges:\n%s", body)
+	}
+	if resp, raw := wireReq(t, http.MethodGet, "http://"+peers[0].addr+"/v1/cluster/metrics?format=xml", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: %d %s", resp.StatusCode, raw)
+	}
+
+	resp, raw = wireReq(t, http.MethodGet, "http://"+peers[2].addr+"/v1/cluster/overview", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("overview: %d %s", resp.StatusCode, raw)
+	}
+	var ov ClusterOverviewResponse
+	if err := json.Unmarshal(raw, &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Self != peers[2].addr || len(ov.Peers) != 3 {
+		t.Fatalf("overview self=%s peers=%d", ov.Self, len(ov.Peers))
+	}
+	selves := 0
+	for _, po := range ov.Peers {
+		if po.State != cluster.StateAlive {
+			t.Fatalf("peer %s state = %s", po.Addr, po.State)
+		}
+		if po.Error != "" {
+			t.Fatalf("peer %s scrape error: %s", po.Addr, po.Error)
+		}
+		if po.Role != "peer" {
+			t.Fatalf("peer %s role = %q", po.Addr, po.Role)
+		}
+		if po.Self {
+			selves++
+			if po.Addr != peers[2].addr {
+				t.Fatalf("self row is %s", po.Addr)
+			}
+		}
+	}
+	if selves != 1 {
+		t.Fatalf("%d self rows", selves)
+	}
+}
+
+// TestClusterRoutedTraceStitch is the tentpole acceptance scenario: a job
+// submitted to a non-owner is proxied to the ring owner, and the origin's
+// trace endpoint serves ONE stitched tree spanning both peers — then keeps
+// serving the local tree (annotated) after the owner dies.
+func TestClusterRoutedTraceStitch(t *testing.T) {
+	peers := startFleet(t, 3, true)
+	fp := sinkFingerprint(t, peers[0])
+	ownerAddr := peers[0].node.Owner(fp)
+	var origin, owner *fleetPeer
+	for _, p := range peers {
+		if p.addr == ownerAddr {
+			owner = p
+		} else if origin == nil {
+			origin = p
+		}
+	}
+	if origin == nil || owner == nil {
+		t.Fatalf("owner %s not in fleet", ownerAddr)
+	}
+
+	resp, raw := wireReq(t, http.MethodPost, "http://"+origin.addr+"/v1/jobs", scriptBody(t, wordCountScript))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	if by := resp.Header.Get(ServedByHeader); by != ownerAddr {
+		t.Fatalf("served by %q, want owner %s", by, ownerAddr)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitFleetCond(t, "routed job succeeded on owner", func() bool {
+		resp, raw := wireReq(t, http.MethodGet, "http://"+ownerAddr+"/v1/jobs/"+sub.ID, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, raw)
+		}
+		var st JobStatusResponse
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == string(jobs.StateFailed) {
+			t.Fatalf("routed job failed: %s", st.Error)
+		}
+		return st.State == string(jobs.StateSucceeded)
+	})
+
+	// The origin — which never executed anything — serves the whole tree.
+	resp, raw = wireReq(t, http.MethodGet, "http://"+origin.addr+"/v1/jobs/"+sub.ID+"/trace", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("origin trace: %d %s", resp.StatusCode, raw)
+	}
+	var sj trace.SpanJSON
+	if err := json.Unmarshal(raw, &sj); err != nil {
+		t.Fatal(err)
+	}
+	if routed, _ := sj.Attr("routed"); routed != "true" {
+		t.Fatalf("origin root not marked routed: %s", raw)
+	}
+	proxy := sj.Find(trace.KindProxy)
+	if proxy == nil {
+		t.Fatal("origin tree has no proxy span")
+	}
+	if peer, _ := proxy.Attr("peer"); peer != ownerAddr {
+		t.Fatalf("proxy peer attr = %q, want %s", peer, ownerAddr)
+	}
+	if se, ok := proxy.Attr("stitch_error"); ok {
+		t.Fatalf("stitch failed against a live owner: %s", se)
+	}
+	// The grafted remote subtree: the owner's execution spans, each tagged
+	// with the serving peer, hanging under the proxy hop.
+	stage := proxy.Find(trace.KindStage)
+	if stage == nil {
+		t.Fatal("no remote stage span grafted under the proxy span")
+	}
+	if peer, ok := stage.Attr("peer"); !ok || peer != ownerAddr {
+		t.Fatalf("grafted stage peer attr = %q, %v", peer, ok)
+	}
+	seen := map[int]bool{}
+	for _, kind := range []string{trace.KindJob, trace.KindProxy, trace.KindWave, trace.KindStage} {
+		for _, sp := range sj.FindAll(kind) {
+			if seen[sp.ID] {
+				t.Fatalf("duplicate span id %d in stitched tree", sp.ID)
+			}
+			seen[sp.ID] = true
+		}
+	}
+
+	// Chrome format of the same stitched tree: remote events carry the peer.
+	resp, raw = wireReq(t, http.MethodGet, "http://"+origin.addr+"/v1/jobs/"+sub.ID+"/trace?format=chrome", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace: %d %s", resp.StatusCode, raw)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	remoteEvents := 0
+	for _, ev := range events {
+		if ev.Args["peer"] == ownerAddr && ev.Cat == trace.KindStage {
+			remoteEvents++
+		}
+	}
+	if remoteEvents == 0 {
+		t.Fatalf("no peer-attributed remote stage events in %d chrome events", len(events))
+	}
+
+	// Graceful degradation: with the owner dead, the origin still answers
+	// with its local tree, the failed stitch recorded on the proxy span.
+	owner.kill()
+	resp, raw = wireReq(t, http.MethodGet, "http://"+origin.addr+"/v1/jobs/"+sub.ID+"/trace", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace after owner death: %d %s", resp.StatusCode, raw)
+	}
+	var degraded trace.SpanJSON
+	if err := json.Unmarshal(raw, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	proxy = degraded.Find(trace.KindProxy)
+	if proxy == nil {
+		t.Fatal("degraded tree lost its proxy span")
+	}
+	if _, ok := proxy.Attr("stitch_error"); !ok {
+		t.Fatalf("dead-owner stitch not annotated: %s", raw)
+	}
+	if proxy.Find(trace.KindStage) != nil {
+		t.Fatal("degraded tree still contains a grafted remote stage")
+	}
+}

@@ -12,25 +12,34 @@
 //	GET    /v1/jobs/{id}                          -> status + timestamps (+ monitor snapshot when finished)
 //	GET    /v1/jobs/{id}/result [?sink=name]      -> the run payload of a succeeded job
 //	GET    /v1/jobs/{id}/trace  [?format=chrome]  -> the job's span tree (native or Chrome trace_event JSON)
+//	GET    /v1/jobs/{id}/profile                  -> per-stage resource profile (observed vs. estimated cost)
 //	DELETE /v1/jobs/{id}                          -> cancel a queued or running job
 //	GET    /v1/cache/stats     [?details=true]    -> result-cache counters (+ per-entry details)
 //	DELETE /v1/cache           [?source=name]     -> clear the cache (or invalidate one source dataset)
 //	DELETE /v1/cache/{fp}                         -> drop one cached entry by fingerprint
-//	GET    /v1/metrics                            -> Prometheus text exposition
+//	GET    /v1/metrics         [?format=json]     -> Prometheus text exposition (or structured JSON)
 //	GET    /v1/platforms                          -> {"platforms": [...]}
-//	GET    /v1/health                             -> 200 ok
+//	GET    /v1/health                             -> {"status": "ok", "uptime_seconds": ..., "role": ...}
+//	GET    /v1/internal/trace/{id}                -> a job's native span tree, for peer-side trace stitching
 //
 // With a cluster node attached (Options.Cluster), the fleet's endpoints are
 // mounted too:
 //
 //	GET    /v1/cluster                            -> membership states + ring size
+//	GET    /v1/cluster/metrics [?format=json]     -> fleet-merged metrics (counters summed, gauges per-peer)
+//	GET    /v1/cluster/overview                   -> per-peer health/queue/cache/runtime snapshot
 //	POST   /v1/internal/cluster/heartbeat         -> peer gossip (membership + cache versions)
 //	GET    /v1/internal/cache/{fp}                -> stream one cache entry to a peer (binary framed)
 //	PUT    /v1/internal/cache/{fp}                -> accept a peer's write-through
+//
+// Every response carries an X-Rheem-Request-Id, echoed in the debug-level
+// access log; routed submissions additionally carry X-Rheem-Served-By.
 package restapi
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,6 +80,10 @@ type Options struct {
 	// ClusterRoute proxies job submissions to their plan fingerprint's ring
 	// owner for cache affinity (ignored without Cluster).
 	ClusterRoute bool
+	// ScrapeTimeout bounds each per-peer fetch made by the fleet aggregation
+	// endpoints (/v1/cluster/metrics, /v1/cluster/overview) and by trace
+	// stitching. Defaults to the cluster's fetch timeout, else 2s.
+	ScrapeTimeout time.Duration
 }
 
 // Server wires a Context, a UDF registry, and a job manager into an
@@ -91,7 +104,10 @@ type Server struct {
 	Cluster *cluster.Node
 	// ClusterRoute enables owner-affinity job routing (see cluster.go).
 	ClusterRoute bool
+	// ScrapeTimeout bounds per-peer fetches of the fleet endpoints.
+	ScrapeTimeout time.Duration
 
+	started time.Time
 	mux     *http.ServeMux
 	mRouted *telemetry.Counter
 }
@@ -124,7 +140,10 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 		Log:             opts.Log,
 		MaxResultQuanta: opts.MaxResultQuanta,
 		MaxBodyBytes:    opts.MaxBodyBytes,
+		ScrapeTimeout:   opts.ScrapeTimeout,
+		started:         time.Now(),
 	}
+	trace.RegisterMetricsHelp(ctx.Metrics)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -132,16 +151,15 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
 	s.mux.HandleFunc("DELETE /v1/cache/{fp}", s.handleCacheDelete)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
-	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/internal/trace/{id}", s.handleInternalTrace)
 	if opts.Cluster != nil {
 		s.Cluster = opts.Cluster
 		s.ClusterRoute = opts.ClusterRoute
@@ -157,8 +175,73 @@ func NewWithOptions(ctx *rheem.Context, udfs *latin.Registry, opts Options) *Ser
 // running jobs get until ctx expires, and an error reports abandoned jobs.
 func (s *Server) Close(ctx context.Context) error { return s.Jobs.Close(ctx) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// RequestIDHeader carries the per-request id every response is stamped
+// with; the same id keys the debug-level access log line.
+const RequestIDHeader = "X-Rheem-Request-Id"
+
+// ServeHTTP implements http.Handler: it stamps a request id on the
+// response and, at debug level, emits one access-log line per request with
+// method, path, status, duration, and — for proxied submissions — the peer
+// that served it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := newRequestID()
+	w.Header().Set(RequestIDHeader, reqID)
+	if !s.Log.Enabled(xlog.LevelDebug) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	kv := []any{
+		"request_id", reqID,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.code(),
+		"duration_ms", float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if by := rec.Header().Get(ServedByHeader); by != "" {
+		kv = append(kv, "served_by", by)
+	}
+	s.Log.Debug("http request", kv...)
+}
+
+// newRequestID mints a 12-hex-digit random request id ("-" if the entropy
+// source fails; ids are diagnostics, not security).
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "-"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) code() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
 
 type scriptRequest struct {
 	Script string `json:"script"`
@@ -198,8 +281,9 @@ type JobStatusResponse struct {
 
 // jobOutcome is the value a job's runner stores in the result store.
 type jobOutcome struct {
-	resp RunResponse
-	snap monitor.Snapshot
+	resp    RunResponse
+	snap    monitor.Snapshot
+	profile *rheem.Profile
 }
 
 // compile decodes and compiles a script request, returning the raw body
@@ -251,7 +335,7 @@ func (s *Server) runner(compiled *latin.Compiled) jobs.Runner {
 		if err != nil {
 			return nil, err
 		}
-		return &jobOutcome{resp: resp, snap: res.Monitor().Snapshot()}, nil
+		return &jobOutcome{resp: resp, snap: res.Monitor().Snapshot(), profile: res.Profile()}, nil
 	}
 }
 
@@ -289,10 +373,19 @@ func (s *Server) renderRun(res *rheem.Result, compiled *latin.Compiled) (RunResp
 
 // submit enqueues a traced job and retains its span tree for the trace
 // endpoint. The tracer is created before submission so the queue-wait span
-// covers the whole admission; evicted traces simply 404.
-func (s *Server) submit(compiled *latin.Compiled) (string, error) {
+// covers the whole admission; evicted traces simply 404. A request arriving
+// with trace-propagation headers (a routed submission) links this tree
+// under the origin's span, so the origin can graft it into one distributed
+// trace.
+func (s *Server) submit(compiled *latin.Compiled, r *http.Request) (string, error) {
 	tr := trace.New(trace.KindJob, "job:"+compiled.Plan.Name)
 	tr.Metrics = s.Ctx.Metrics
+	if tid, parent, ok := trace.Extract(r.Header); ok {
+		tr.SetRemoteParent(tid, parent)
+		if from := r.Header.Get(RoutedFromHeader); from != "" {
+			tr.Root().SetAttr("routed_from", from)
+		}
+	}
 	id, err := s.Jobs.Submit(s.runner(compiled), jobs.WithTracer(tr))
 	if err != nil {
 		return "", err
@@ -311,7 +404,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.maybeProxy(w, r, compiled, raw) {
 		return
 	}
-	id, err := s.submit(compiled)
+	id, err := s.submit(compiled, r)
 	if err != nil {
 		s.submitError(w, err)
 		return
@@ -346,7 +439,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if s.maybeProxy(w, r, compiled, raw) {
 		return
 	}
-	id, err := s.submit(compiled)
+	id, err := s.submit(compiled, r)
 	if err != nil {
 		s.submitError(w, err)
 		return
@@ -457,7 +550,11 @@ func sinkNames(sinks map[string][]json.RawMessage) []string {
 // handleJobTrace serves a job's span tree: the native nested-span JSON by
 // default, or the Chrome trace_event format (loadable in chrome://tracing
 // and Perfetto) with ?format=chrome. Works for in-flight jobs too — open
-// spans are reported as unfinished with their duration so far.
+// spans are reported as unfinished with their duration so far. Trees of
+// routed jobs are stitched first: each proxy span's remote subtree is
+// fetched from the serving peer and grafted in, so one request returns the
+// whole distributed tree (degrading to the local tree, annotated with
+// stitch_error, when the peer is unreachable).
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, ok := s.Traces.Get(id)
@@ -465,14 +562,45 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no trace for job %s (unknown or evicted)", id)
 		return
 	}
+	snap := tr.Snapshot()
+	s.stitchRemote(r.Context(), snap)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "native":
-		writeJSON(w, tr.Snapshot())
+		writeJSON(w, snap)
 	case "chrome":
-		writeJSON(w, tr.ChromeTrace())
+		writeJSON(w, snap.ChromeTrace())
 	default:
 		httpError(w, http.StatusBadRequest, "unknown trace format %q (want native or chrome)", format)
 	}
+}
+
+// handleJobProfile serves a succeeded job's resource profile — the
+// EXPLAIN ANALYZE view pairing observed wall/CPU/alloc/bytes with the
+// optimizer's estimates.
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	outcome, err := s.Jobs.Result(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "job %s: %v", id, err)
+		return
+	case errors.Is(err, jobs.ErrNotFinished):
+		httpError(w, http.StatusConflict, "job %s is not finished", id)
+		return
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusConflict, "job %s was cancelled", id)
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, "job %s failed: %v", id, err)
+		return
+	}
+	profile := outcome.(*jobOutcome).profile
+	if profile == nil {
+		httpError(w, http.StatusNotFound, "no profile for job %s", id)
+		return
+	}
+	writeJSON(w, profile)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -533,8 +661,50 @@ func (s *Server) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.Ctx.Metrics.WriteProm(w)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Ctx.Metrics.WriteProm(w)
+	case "json":
+		writeJSON(w, s.Ctx.Metrics.Snapshot())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown metrics format %q (want prom or json)", format)
+	}
+}
+
+// HealthResponse is the /v1/health payload. Role is "single" without a
+// cluster, "router" when this peer proxies submissions to ring owners, and
+// "peer" otherwise.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Role          string  `json:"role"`
+	Advertise     string  `json:"advertise,omitempty"`
+	PeersAlive    int     `json:"peers_alive,omitempty"`
+}
+
+func (s *Server) role() string {
+	switch {
+	case s.Cluster == nil:
+		return "single"
+	case s.ClusterRoute:
+		return "router"
+	default:
+		return "peer"
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Role:          s.role(),
+	}
+	if s.Cluster != nil {
+		resp.Advertise = s.Cluster.Self()
+		resp.PeersAlive = len(s.Cluster.AliveRemotes()) + 1
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -35,7 +35,13 @@ go test -run=NONE -bench=BenchmarkEncodeQuantum -benchtime=1x ./internal/core
 go test -run=NONE -bench=NarrowChain -benchtime=1x ./internal/platform/spark ./internal/platform/flink
 RHEEM_NO_FUSE=1 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
-# Cluster smoke: three loopback peers, WordCount computed on one and served
-# from the distributed cache by another — asserts a remote cache hit via
-# rheem_cluster_remote_hits_total and matching results.
-go test -race -count=1 -run='TestClusterRemoteCacheHit' ./restapi
+# Metrics lint: a fully-wired server (cache, cluster node, runtime sampler)
+# runs real jobs, then every registered rheem_* metric must carry HELP text
+# — an undocumented metric fails the gate.
+go test -count=1 -run='TestMetricsLint' ./restapi
+# Cluster smoke: three loopback peers. WordCount computed on one peer is
+# served from the distributed cache by another (remote hit via
+# rheem_cluster_remote_hits_total); /v1/cluster/metrics sums a counter
+# across all three peers; and a routed job's stitched trace contains the
+# serving peer's subtree, every grafted span peer-attributed.
+go test -race -count=1 -run='TestClusterRemoteCacheHit|TestClusterMetricsAggregation|TestClusterRoutedTraceStitch' ./restapi
