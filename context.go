@@ -86,7 +86,16 @@ type Context struct {
 	relStores map[string]*relstore.Store
 	relDriver *relstore.Driver
 	planSeq   int
+
+	// remoteRunner, when set, offers every top-level stage to a distributed
+	// scheduler before local execution (see internal/distexec).
+	remoteRunner executor.RemoteStageRunner
 }
+
+// SetRemoteRunner installs a distributed stage runner (the distexec
+// scheduler): every subsequent execution offers its top-level stages to the
+// runner before executing them locally. Nil disables remote dispatch.
+func (c *Context) SetRemoteRunner(r executor.RemoteStageRunner) { c.remoteRunner = r }
 
 // AllPlatforms lists the bundled platform names.
 func AllPlatforms() []string {
@@ -378,7 +387,7 @@ func (c *Context) ExecutePlanned(p *core.Plan, ep *core.ExecPlan, options ...Exe
 
 func (c *Context) execute(ctx context.Context, p *core.Plan, ep *core.ExecPlan, opts optimizer.Options, ec *execConfig) (*Result, error) {
 	mon := monitor.New()
-	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers, Metrics: c.Metrics}
+	ex := &executor.Executor{Registry: c.Registry, Monitor: mon, Sniffers: ec.sniffers, Metrics: c.Metrics, Remote: c.remoteRunner}
 	if ec.resultCache && c.Cache != nil {
 		ex.Cache = c.Cache
 	}

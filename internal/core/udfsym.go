@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+)
+
+// UDF symbol registry: the process-global table that lets distributed stage
+// execution ship user functions by name instead of by value. Go functions
+// cannot be serialized, but a fleet of rheem-server peers runs the same
+// binary with the same UDF library registered at startup — so a fragment
+// only needs to carry the function's fully-qualified symbol
+// (runtime.FuncForPC name) and the receiving peer looks the value up in its
+// own table. Registration happens as a side effect of latin.Registry's
+// Register* calls, so every script-reachable UDF is automatically
+// shippable.
+//
+// Closures are registered like any other function, but two closures created
+// by the same function literal share one symbol regardless of their
+// captured state; FuncEqual's code-pointer comparison cannot tell captures
+// apart either. This is the same limitation the plan fingerprinter
+// documents: UDFs are identified by code, not by captured data. Fleets must
+// register capture-identical UDF libraries on every peer (true for
+// rheem-server, which builds its registry from one function).
+
+var udfSymbols sync.Map // symbol string -> fn any
+
+// FuncSymbol returns the fully-qualified symbol name of a function value
+// ("rheem/latin.glob..func1", "main.wordOf", ...), or "" when fn is not a
+// non-nil func.
+func FuncSymbol(fn any) string {
+	if fn == nil {
+		return ""
+	}
+	v := reflect.ValueOf(fn)
+	if v.Kind() != reflect.Func || v.IsNil() {
+		return ""
+	}
+	f := runtime.FuncForPC(v.Pointer())
+	if f == nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// RegisterUDFSymbol records fn in the process-global symbol table and
+// returns its symbol. A nil or non-func value is ignored and yields "".
+func RegisterUDFSymbol(fn any) string {
+	sym := FuncSymbol(fn)
+	if sym == "" {
+		return ""
+	}
+	udfSymbols.Store(sym, fn)
+	return sym
+}
+
+// LookupUDFSymbol resolves a symbol previously registered in this process.
+func LookupUDFSymbol(sym string) (any, bool) {
+	if sym == "" {
+		return nil, false
+	}
+	return udfSymbols.Load(sym)
+}
+
+// FuncEqual reports whether two function values share the same code
+// pointer. It is how fragment encoding verifies that the registered value
+// for a symbol is the very function the plan carries (captured state
+// excepted — see the package comment above).
+func FuncEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Kind() != reflect.Func || vb.Kind() != reflect.Func {
+		return false
+	}
+	return va.Pointer() == vb.Pointer()
+}

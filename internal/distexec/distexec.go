@@ -1,0 +1,164 @@
+// Package distexec is the distributed stage scheduler: it turns a fleet of
+// rheem-server peers into one execution engine. When enabled
+// (-cluster-exec), the executor offers every top-level stage to the
+// scheduler before running it locally; the scheduler serializes the stage
+// as a self-contained *plan fragment* — operator subgraph, UDF symbol
+// references, scalar parameters, and materialized input channels — and
+// ships it to an alive ring peer over POST /v1/internal/exec/stage. Small
+// inputs and outputs travel inline in the fragment (RQB1-encoded); large
+// ones are written to the shared DFS substrate as frame-aware shuffle
+// files under distexec/<run>/ and fetched by path, falling back to an HTTP
+// stream from the writing peer when the stores are not actually shared.
+//
+// The failure ladder is strictly monotone: any refusal or failure —
+// kill switch, unfragmentable stage (loops, sniffed operators, unnameable
+// UDFs, process-local sources/sinks), cost floor, no alive peers, dead
+// peer, fragment decode error, remote execution error, timeout — degrades
+// to local execution of that stage. Remote execution is an optimization,
+// never a correctness dependency.
+//
+// Remote stages carry trace propagation: the origin's dispatch span
+// (trace.KindRemoteStage) records the peer and the fragment id, the worker
+// opens its own tracer linked back via SetRemoteParent, and the origin's
+// stitched trace grafts the worker's span tree under the dispatch span —
+// the same mechanism routed jobs use. Worker-measured CPU/alloc/bytes come
+// back in the response and flow into the job's resource profile attributed
+// to the executing peer.
+package distexec
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rheem/internal/cluster"
+	"rheem/internal/core"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/telemetry"
+	"rheem/internal/trace"
+	"rheem/internal/xlog"
+)
+
+// distexecOff is the global kill switch: 1 keeps every stage local
+// (dispatch refuses and workers answer 503). Seeded from RHEEM_NO_DISTEXEC
+// at startup, mirroring the fusion kill switch.
+var distexecOff atomic.Bool
+
+func init() {
+	if os.Getenv("RHEEM_NO_DISTEXEC") != "" {
+		distexecOff.Store(true)
+	}
+}
+
+// Disabled reports whether distributed stage execution is globally disabled
+// (RHEEM_NO_DISTEXEC, or SetDisabled).
+func Disabled() bool { return distexecOff.Load() }
+
+// SetDisabled flips the global kill switch; it exists for crosscheck tests
+// and benchmarks. Returns the previous value.
+func SetDisabled(off bool) bool { return distexecOff.Swap(off) }
+
+// Options configure a Scheduler.
+type Options struct {
+	// Node supplies fleet membership (alive peers) and the self address.
+	Node *cluster.Node
+	// Advertise overrides the self address (defaults to Node.Self()); unit
+	// tests without a cluster node set it directly.
+	Advertise string
+	// DFS is the shuffle substrate for over-limit inputs and outputs.
+	DFS *dfs.Store
+	// Registry resolves platform drivers on the worker side.
+	Registry *core.Registry
+	// Metrics receives the rheem_distexec_* family; nil skips instrumentation.
+	Metrics *telemetry.Registry
+	// Log, when set, records dispatch decisions and failures.
+	Log *xlog.Logger
+	// Traces stores worker-side fragment tracers so the origin can stitch
+	// them into the job's distributed trace (served by /v1/internal/trace).
+	Traces *trace.Store
+	// MinCostMs is the placement floor: stages whose estimated cost sums
+	// below it never pay a network round-trip (-cluster-exec-min-cost-ms).
+	MinCostMs float64
+	// InlineLimit is the encoded-bytes threshold above which channel data
+	// moves through DFS shuffle files instead of inline. Default 1 MiB.
+	InlineLimit int
+	// DispatchTimeout bounds one remote stage round-trip. Default 60s.
+	DispatchTimeout time.Duration
+	// MaxFragmentBytes bounds the request body a worker accepts. Default
+	// 256 MiB — fragments carry data, so the server-wide body cap is too
+	// small.
+	MaxFragmentBytes int64
+	// Client is the HTTP client for dispatch/shuffle/GC calls (tests inject
+	// one); nil uses a default client.
+	Client *http.Client
+}
+
+// Scheduler is both sides of distributed stage execution: the origin-side
+// dispatcher (RunStage/EndRun, the executor's RemoteStageRunner seam) and
+// the worker-side fragment executor (HandleExecStage and friends, mounted
+// by restapi on the internal cluster surface).
+type Scheduler struct {
+	opts   Options
+	client *http.Client
+
+	// rr is the round-robin placement cursor over the sorted alive ring.
+	rr atomic.Uint64
+	// frags de-dupes fragment ids across a run's stages and retries.
+	frags atomic.Uint64
+
+	mu   sync.Mutex
+	runs map[string]map[string]bool // run id -> dispatched peer addrs
+}
+
+// New creates a Scheduler and documents its metric families.
+func New(opts Options) *Scheduler {
+	if opts.Advertise == "" && opts.Node != nil {
+		opts.Advertise = opts.Node.Self()
+	}
+	if opts.InlineLimit <= 0 {
+		opts.InlineLimit = 1 << 20
+	}
+	if opts.DispatchTimeout <= 0 {
+		opts.DispatchTimeout = 60 * time.Second
+	}
+	if opts.MaxFragmentBytes <= 0 {
+		opts.MaxFragmentBytes = 256 << 20
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	opts.Metrics.Help("rheem_distexec_dispatched_total",
+		"Stages dispatched to fleet peers for remote execution.")
+	opts.Metrics.Help("rheem_distexec_executed_total",
+		"Remote stage fragments executed on this peer, labeled with its advertise address.")
+	opts.Metrics.Help("rheem_distexec_remote_failures_total",
+		"Remote stage dispatches that failed and fell back to local execution.")
+	opts.Metrics.Help("rheem_distexec_pinned_local_total",
+		"Stages the scheduler kept local, by reason.")
+	opts.Metrics.Help("rheem_distexec_exec_failures_total",
+		"Received stage fragments whose execution on this peer failed.")
+	return &Scheduler{opts: opts, client: client, runs: map[string]map[string]bool{}}
+}
+
+// pinLocal counts one stage the scheduler declined to ship.
+func (s *Scheduler) pinLocal(reason string) {
+	s.opts.Metrics.Counter("rheem_distexec_pinned_local_total",
+		telemetry.L("reason", reason)).Inc()
+}
+
+// noteRun records that runID dispatched to peer, for EndRun cleanup.
+func (s *Scheduler) noteRun(runID, peer string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peers := s.runs[runID]
+	if peers == nil {
+		peers = map[string]bool{}
+		s.runs[runID] = peers
+	}
+	if peer != "" {
+		peers[peer] = true
+	}
+}

@@ -2,11 +2,14 @@ package executor
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rheem/internal/core"
@@ -42,6 +45,27 @@ type Executor struct {
 	// Cache, when set, receives the materialized outputs the execution
 	// plan's CacheOuts marks as worth keeping for future jobs.
 	Cache ResultCache
+	// Remote, when set, is offered every top-level driver stage before it
+	// runs locally (distributed stage execution). A declined or failed
+	// offer falls back to the local path below — remote execution is an
+	// optimization, never a correctness dependency.
+	Remote RemoteStageRunner
+}
+
+// RemoteFetchFn materializes the output of an operator produced outside
+// the offered stage, in collection form, for shipping: the quanta plus the
+// channel's cardinality (-1 when unknown).
+type RemoteFetchFn func(producer *core.Operator) ([]any, int64, error)
+
+// RemoteStageRunner is the distributed-execution seam (implemented by
+// distexec.Scheduler). RunStage either executes the stage on a fleet peer
+// and returns its terminal outputs (ok=true) or declines (ok=false), in
+// which case the executor runs the stage locally. EndRun garbage-collects
+// any shuffle state the run left behind; the executor calls it exactly
+// once per top-level run, including cancelled ones.
+type RemoteStageRunner interface {
+	RunStage(ctx context.Context, runID string, s *core.Stage, fetch RemoteFetchFn, round int, sp *trace.Span) (map[*core.Operator]*core.Channel, *core.StageStats, bool, error)
+	EndRun(runID string)
 }
 
 // ResultCache is the cross-job result cache's population interface
@@ -98,7 +122,27 @@ func (ex *Executor) Run(ep *core.ExecPlan) (*Result, error) {
 // unwind.
 func (ex *Executor) RunCtx(ctx context.Context, ep *core.ExecPlan) (*Result, error) {
 	ex.registerMetricsHelp()
-	return ex.run(ctx, ep, nil, nil, 0)
+	runID := newRunID()
+	if ex.Remote != nil {
+		// End-of-run GC runs unconditionally — completion, failure, and
+		// cancellation all release the run's distributed shuffle files.
+		defer ex.Remote.EndRun(runID)
+	}
+	return ex.run(ctx, ep, runID, nil, nil, 0)
+}
+
+// runSeq de-dupes run ids when crypto/rand is unavailable.
+var runSeq atomic.Uint64
+
+// newRunID mints the distributed-execution namespace for one top-level
+// run: shuffle files live under distexec/<runID>/ on every participating
+// peer.
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "run-" + strconv.FormatUint(runSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // registerMetricsHelp documents the executor's metric families; the
@@ -110,7 +154,9 @@ func (ex *Executor) registerMetricsHelp() {
 }
 
 // run executes ep; loopVar/outerChans are set for loop-body executions.
-func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (*Result, error) {
+// runID names the surrounding top-level run (the distributed shuffle
+// namespace); loop-body executions inherit it.
+func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, runID string, loopVar []any, outerChans map[*core.Operator]*core.Channel, round int) (*Result, error) {
 	stages, err := BuildStages(ep)
 	if err != nil {
 		return nil, err
@@ -189,14 +235,39 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 					}
 				}()
 				if s.Platform == "" {
-					outs, err := ex.runLoopStage(trace.NewContext(ctx, stSp), ep, s, chans, loopVar, outerChans)
+					outs, err := ex.runLoopStage(trace.NewContext(ctx, stSp), ep, s, chans, runID, loopVar, outerChans)
 					outcomes[i] = outcome{stage: s, outs: outs, err: err}
 					return
 				}
 				var outs map[*core.Operator]*core.Channel
 				var stats *core.StageStats
 				var err error
-				for attempt := 0; attempt <= ex.StageRetries; attempt++ {
+				// Distributed execution: offer top-level stages to the
+				// remote scheduler first. Loop-body stages stay local —
+				// their placeholders bind process-local channels. Any
+				// decline or remote failure falls through to the local
+				// retry loop below.
+				ran := false
+				if ex.Remote != nil && loopVar == nil && outerChans == nil {
+					if ex.Sniffers != nil {
+						s.Sniffers = ex.Sniffers // let the scheduler see (and refuse) sniffed ops
+					}
+					fetch := func(producer *core.Operator) ([]any, int64, error) {
+						ch, err := chans.fetch(producer, []string{"collection"}, stSp)
+						if err != nil {
+							return nil, 0, err
+						}
+						data, err := channelQuanta(ch)
+						if err != nil {
+							return nil, 0, err
+						}
+						return data, ch.Card, nil
+					}
+					if rOuts, rStats, ok, rErr := ex.Remote.RunStage(ctx, runID, s, fetch, round, stSp); ok && rErr == nil {
+						outs, stats, ran = rOuts, rStats, true
+					}
+				}
+				for attempt := 0; !ran && attempt <= ex.StageRetries; attempt++ {
 					if ctxErr := ctx.Err(); ctxErr != nil {
 						err = ctxErr
 						break
@@ -228,9 +299,12 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, loopVar []any, o
 
 		// Attribute the wave's process-level CPU/alloc/codec deltas to its
 		// stages (proportional to stage wall time; see resources.go).
+		// Remotely-executed stages are excluded: they carry the executing
+		// peer's own measurements, which local attribution must not
+		// overwrite.
 		var waveStats []*core.StageStats
 		for _, oc := range outcomes {
-			if oc.stats != nil {
+			if oc.stats != nil && oc.stats.Remote == "" {
 				waveStats = append(waveStats, oc.stats)
 			}
 		}
@@ -493,7 +567,7 @@ func (ex *Executor) runDriverStage(ep *core.ExecPlan, s *core.Stage, chans *chan
 
 // runLoopStage evaluates a loop operator: materialize the loop input,
 // iterate the optimized body plan, and publish the final value.
-func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core.Stage, chans *channelStore, outerLoopVar []any, outerChans map[*core.Operator]*core.Channel) (map[*core.Operator]*core.Channel, error) {
+func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core.Stage, chans *channelStore, runID string, outerLoopVar []any, outerChans map[*core.Operator]*core.Channel) (map[*core.Operator]*core.Channel, error) {
 	loop := s.Ops[0]
 	body := ep.LoopBodies[loop]
 	if body == nil {
@@ -558,7 +632,7 @@ func (ex *Executor) runLoopStage(ctx context.Context, ep *core.ExecPlan, s *core
 			roundSp.SetInt("loop_var_card", int64(len(loopVar)))
 			roundCtx = trace.NewContext(ctx, roundSp)
 		}
-		sub, err := ex.run(roundCtx, body, loopVar, refs, roundNo)
+		sub, err := ex.run(roundCtx, body, runID, loopVar, refs, roundNo)
 		if err != nil {
 			roundSp.SetAttr("error", err.Error())
 			roundSp.End()

@@ -37,6 +37,10 @@ type Profile struct {
 type StageProfile struct {
 	Stage    string `json:"stage"`
 	Platform string `json:"platform"`
+	// Peer is the advertise address of the fleet peer that executed the
+	// stage remotely (distributed execution); empty for local stages. The
+	// resource figures below are then the peer's own measurements.
+	Peer string `json:"peer,omitempty"`
 
 	WallMs     float64 `json:"wall_ms"`
 	CPUMs      float64 `json:"cpu_ms"`
@@ -94,6 +98,7 @@ func BuildProfile(ep *core.ExecPlan, res *Result) *Profile {
 		sp := StageProfile{
 			Stage:      st.Stage.String(),
 			Platform:   st.Stage.Platform,
+			Peer:       st.Remote,
 			WallMs:     float64(st.Runtime) / float64(time.Millisecond),
 			CPUMs:      float64(st.CPUTime) / float64(time.Millisecond),
 			AllocBytes: st.AllocBytes,

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"rheem/internal/cluster"
+	"rheem/internal/core"
+	"rheem/internal/distexec"
+	"rheem/internal/executor"
+	"rheem/internal/platform/streams"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/telemetry"
+	"rheem/internal/trace"
+)
+
+// Distexec measures distributed stage execution against the local baseline:
+// the same pipeline stage run in-process, shipped to a loopback peer with
+// inline channel transport, and shipped with every channel forced through
+// DFS shuffle files. The gap between "local" and the remote rows is the
+// round-trip the -cluster-exec-min-cost-ms placement floor exists to
+// amortize: cheap stages should stay local, and the gap shrinking with
+// input size is what makes shipping big stages worthwhile.
+func Distexec(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	if distexec.Disabled() {
+		return nil, fmt.Errorf("distexec: disabled via RHEEM_NO_DISTEXEC")
+	}
+
+	worker, cleanup, err := startDistexecWorker()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var rows []Row
+	for _, base := range []int{20000, 200000} {
+		n := opts.n(base)
+		cfg := fmt.Sprintf("n=%d", n)
+		data := make([]any, n)
+		for i := range data {
+			data[i] = int64(i)
+		}
+
+		ms, err := timed(func() error {
+			return runDistexecLocal(worker, data)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("distexec %s local: %w", cfg, err)
+		}
+		rows = append(rows, Row{Figure: "distexec", Config: cfg, System: "local", Ms: ms})
+
+		for _, system := range []string{"remote-inline", "remote-shuffle"} {
+			system := system
+			ms, err := timed(func() error {
+				return runDistexecRemote(worker, system == "remote-shuffle", data)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("distexec %s %s: %w", cfg, system, err)
+			}
+			rows = append(rows, Row{Figure: "distexec", Config: cfg, System: system, Ms: ms,
+				Note: "loopback HTTP peer"})
+		}
+	}
+	return rows, nil
+}
+
+// Shipping-eligible UDFs must be package-level registered symbols.
+func distexecDouble(q any) any { return q.(int64) * 2 }
+func distexecOdd(q any) bool   { return q.(int64)%2 == 1 }
+
+func init() {
+	core.RegisterUDFSymbol(distexecDouble)
+	core.RegisterUDFSymbol(distexecOdd)
+}
+
+// distexecWorker is one loopback rheem peer: a cluster node pair (so the
+// origin's placement sees an alive remote) and the worker's exec surface.
+type distexecWorker struct {
+	addr       string
+	originNode *cluster.Node
+	originDFS  *dfs.Store
+	workerDFS  *dfs.Store
+	registry   *core.Registry
+}
+
+// startDistexecWorker brings up the pair and waits for the origin to see
+// the worker alive.
+func startDistexecWorker() (*distexecWorker, func(), error) {
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	fail := func(err error) (*distexecWorker, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+
+	listen := func() (net.Listener, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			closers = append(closers, func() { ln.Close() })
+		}
+		return ln, err
+	}
+	originLn, err := listen()
+	if err != nil {
+		return fail(err)
+	}
+	workerLn, err := listen()
+	if err != nil {
+		return fail(err)
+	}
+	originAddr, workerAddr := originLn.Addr().String(), workerLn.Addr().String()
+
+	newStore := func() (*dfs.Store, error) { return dfs.NewTemp(dfs.Options{}) }
+	originDFS, err := newStore()
+	if err != nil {
+		return fail(err)
+	}
+	workerDFS, err := newStore()
+	if err != nil {
+		return fail(err)
+	}
+	registry := core.NewRegistry()
+	if err := registry.Register(streams.New(workerDFS)); err != nil {
+		return fail(err)
+	}
+
+	newNode := func(self, peer string) (*cluster.Node, error) {
+		n, err := cluster.New(cluster.Options{
+			Advertise:         self,
+			Peers:             []string{peer},
+			HeartbeatInterval: 20 * time.Millisecond,
+			SuspectAfter:      2 * time.Second,
+			DeadAfter:         10 * time.Second,
+		})
+		if err == nil {
+			n.Start()
+			closers = append(closers, n.Stop)
+		}
+		return n, err
+	}
+	originNode, err := newNode(originAddr, workerAddr)
+	if err != nil {
+		return fail(err)
+	}
+	workerNode, err := newNode(workerAddr, originAddr)
+	if err != nil {
+		return fail(err)
+	}
+
+	// The worker's surface carries the exec endpoints; the origin only needs
+	// to receive heartbeats (its shuffle files, when any, are fetched by the
+	// worker — but this experiment's stages carry no external inputs).
+	workerSched := distexec.New(distexec.Options{
+		Node:      workerNode,
+		Advertise: workerAddr,
+		DFS:       workerDFS,
+		Registry:  registry,
+		Metrics:   telemetry.NewRegistry(),
+		Traces:    trace.NewStore(4),
+	})
+	serve := func(ln net.Listener, mux *http.ServeMux) {
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		closers = append(closers, func() { srv.Close() })
+	}
+	originMux := http.NewServeMux()
+	originMux.HandleFunc("POST /v1/internal/cluster/heartbeat", originNode.HandleHeartbeat)
+	serve(originLn, originMux)
+	workerMux := http.NewServeMux()
+	workerMux.HandleFunc("POST /v1/internal/cluster/heartbeat", workerNode.HandleHeartbeat)
+	workerMux.HandleFunc("POST /v1/internal/exec/stage", workerSched.HandleExecStage)
+	workerMux.HandleFunc("GET /v1/internal/exec/shuffle", workerSched.HandleExecShuffle)
+	workerMux.HandleFunc("DELETE /v1/internal/exec/job/{id}", workerSched.HandleExecDelete)
+	serve(workerLn, workerMux)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(originNode.AliveRemotes()) == 0 {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("distexec: loopback worker never became alive"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return &distexecWorker{
+		addr:       workerAddr,
+		originNode: originNode,
+		originDFS:  originDFS,
+		workerDFS:  workerDFS,
+		registry:   registry,
+	}, cleanup, nil
+}
+
+// distexecStage builds the measured pipeline: source -> map -> filter ->
+// collect, entirely shippable.
+func distexecStage(data []any) *core.Stage {
+	plan := core.NewPlan("distexec-bench")
+	src := plan.NewOperator(core.KindCollectionSource, "ints")
+	src.Params.Collection = data
+	f := plan.NewOperator(core.KindFilter, "odd")
+	f.UDF.Pred = distexecOdd
+	m := plan.NewOperator(core.KindMap, "double")
+	m.UDF.Map = distexecDouble
+	sink := plan.NewOperator(core.KindCollectionSink, "out")
+	plan.Chain(src, f, m, sink)
+	return &core.Stage{
+		ID:           1,
+		Platform:     "streams",
+		Ops:          []*core.Operator{src, m, f, sink},
+		ExecPlan:     &core.ExecPlan{Plan: plan, Assignments: map[*core.Operator]*core.Assignment{}},
+		TerminalOuts: []*core.Operator{sink},
+	}
+}
+
+// runDistexecLocal executes the stage in-process, the baseline every
+// remote path is compared against.
+func runDistexecLocal(w *distexecWorker, data []any) error {
+	st := distexecStage(data)
+	driver, err := w.registry.Driver(st.Platform)
+	if err != nil {
+		return err
+	}
+	outs, _, err := driver.Execute(st, core.NewInputs())
+	if err != nil {
+		return err
+	}
+	if outs[st.TerminalOuts[0]] == nil {
+		return fmt.Errorf("local run produced no sink channel")
+	}
+	return nil
+}
+
+// runDistexecRemote ships the stage through a fresh origin scheduler (so
+// round-robin placement always picks the remote slot first) and verifies
+// the result came back.
+func runDistexecRemote(w *distexecWorker, forceShuffle bool, data []any) error {
+	inlineLimit := 0 // default 1 MiB
+	if forceShuffle {
+		inlineLimit = 1
+	}
+	origin := distexec.New(distexec.Options{
+		Node:        w.originNode,
+		DFS:         w.originDFS,
+		Metrics:     telemetry.NewRegistry(),
+		InlineLimit: inlineLimit,
+	})
+	st := distexecStage(data)
+	runID := fmt.Sprintf("bench-%d-%d", len(data), inlineLimit)
+	defer origin.EndRun(runID)
+	sp := trace.New(trace.KindJob, "distexec-bench").Root()
+	fetch := func(*core.Operator) ([]any, int64, error) {
+		return nil, 0, fmt.Errorf("stage has no external inputs")
+	}
+	outs, _, ok, err := origin.RunStage(context.Background(), runID, st, executor.RemoteFetchFn(fetch), 0, sp)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("scheduler declined to dispatch the stage")
+	}
+	ch := outs[st.TerminalOuts[0]]
+	if ch == nil {
+		return fmt.Errorf("remote run returned no sink channel")
+	}
+	if ch.Card != int64(len(data))/2 {
+		return fmt.Errorf("remote result carries %d quanta, want %d", ch.Card, len(data)/2)
+	}
+	return nil
+}

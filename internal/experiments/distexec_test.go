@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestDistexecShape runs the distributed-execution experiment at reduced
+// scale: every row must complete (remote dispatch succeeded, results
+// verified inside the experiment), and the remote rows carry real
+// round-trip time — they must not be free relative to local execution,
+// which is the whole premise of the placement cost floor.
+func TestDistexecShape(t *testing.T) {
+	skipIfShort(t)
+	rows, err := Distexec(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Ms <= 0 {
+			t.Errorf("%s %s: runtime %.2fms", r.Config, r.System, r.Ms)
+		}
+	}
+}

@@ -35,36 +35,58 @@ func (sj *SpanJSON) ChromeTrace() []ChromeEvent {
 	if sj == nil {
 		return nil
 	}
-	la := &laneAssigner{lanes: map[int][]interval{}}
+	la := &laneAssigner{lanes: map[int][]laneEntry{}, ancestors: map[*SpanJSON]bool{}}
 	var out []ChromeEvent
-	la.emit(sj, 0, &out)
+	la.emit(sj, 0, 0, 0, &out)
 	return out
 }
 
-type interval struct{ ts, end int64 }
-
-// laneAssigner places spans on synthetic tids: a span takes its parent's
-// lane when every event already on that lane either contains it or is
-// disjoint from it; otherwise (a concurrent sibling occupies the lane) it
-// opens a fresh lane. This keeps Chrome's stack-based rendering faithful
-// to the span tree even for parallel stage waves.
-type laneAssigner struct {
-	lanes    map[int][]interval
-	nextLane int
+type laneEntry struct {
+	ts, end int64
+	sp      *SpanJSON
 }
 
-func (la *laneAssigner) emit(sj *SpanJSON, parentLane int, out *[]ChromeEvent) {
+// laneAssigner places spans on synthetic tids: a span takes its parent's
+// lane when every event already on that lane is an ancestor (which contains
+// it by construction) or is disjoint from it in time; otherwise (a
+// concurrent sibling occupies the lane) it opens a fresh lane. Ancestry —
+// not interval containment — decides nesting: microsecond truncation can
+// make one overlapping sibling's interval appear to contain the other's,
+// and Chrome would render it as a child. This keeps the stack-based
+// rendering faithful to the span tree even for parallel stage waves.
+type laneAssigner struct {
+	lanes     map[int][]laneEntry
+	ancestors map[*SpanJSON]bool
+	nextLane  int
+}
+
+// emit renders sj and its subtree. pts/pend are the parent's rendered
+// interval (zero at the root): children are clamped into it, since
+// microsecond truncation can otherwise push a child's rendered end a tick
+// past its parent's and break Chrome's containment-based stacking.
+func (la *laneAssigner) emit(sj *SpanJSON, parentLane int, pts, pend int64, out *[]ChromeEvent) {
 	ts := sj.Start.UnixMicro()
 	dur := int64(sj.DurationMs * 1000)
 	if dur < 1 {
 		dur = 1 // zero-length events render invisibly; give them a tick
+	}
+	if parentLane != 0 {
+		if ts < pts {
+			ts = pts
+		}
+		if ts > pend-1 {
+			ts = pend - 1
+		}
+		if ts+dur > pend {
+			dur = pend - ts
+		}
 	}
 	lane := parentLane
 	if parentLane == 0 || !la.fits(parentLane, ts, ts+dur) {
 		la.nextLane++
 		lane = la.nextLane
 	}
-	la.lanes[lane] = append(la.lanes[lane], interval{ts: ts, end: ts + dur})
+	la.lanes[lane] = append(la.lanes[lane], laneEntry{ts: ts, end: ts + dur, sp: sj})
 	ev := ChromeEvent{Name: sj.Name, Cat: sj.Kind, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: lane}
 	if len(sj.Attrs) > 0 {
 		ev.Args = make(map[string]string, len(sj.Attrs))
@@ -76,18 +98,21 @@ func (la *laneAssigner) emit(sj *SpanJSON, parentLane int, out *[]ChromeEvent) {
 	// Children in start order keeps sibling lane reuse deterministic.
 	children := append([]*SpanJSON(nil), sj.Children...)
 	sort.SliceStable(children, func(i, j int) bool { return children[i].Start.Before(children[j].Start) })
+	la.ancestors[sj] = true
 	for _, c := range children {
-		la.emit(c, lane, out)
+		la.emit(c, lane, ts, ts+dur, out)
 	}
+	delete(la.ancestors, sj)
 }
 
-// fits reports whether [ts,end) can join the lane: every resident interval
-// must contain it or be disjoint from it.
+// fits reports whether [ts,end) can join the lane: every resident that is
+// not an ancestor of the joining span must be disjoint from it in time.
 func (la *laneAssigner) fits(lane int, ts, end int64) bool {
-	for _, iv := range la.lanes[lane] {
-		contains := iv.ts <= ts && end <= iv.end
-		disjoint := end <= iv.ts || iv.end <= ts
-		if !contains && !disjoint {
+	for _, e := range la.lanes[lane] {
+		if la.ancestors[e.sp] {
+			continue
+		}
+		if disjoint := end <= e.ts || e.end <= ts; !disjoint {
 			return false
 		}
 	}

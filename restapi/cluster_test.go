@@ -44,11 +44,22 @@ func (p *fleetPeer) kill() {
 	}
 }
 
+// fleetConfig selects which cluster tiers a test fleet enables.
+type fleetConfig struct {
+	route bool // -cluster-route: proxy submissions to the ring owner
+	exec  bool // -cluster-exec: ship plan fragments to peers
+}
+
 // startFleet brings up n peers that all know each other, each holding an
 // identical words.txt in its own DFS (named sources fingerprint by name and
 // version, so plans fingerprint identically fleet-wide), and waits for
 // membership to converge.
 func startFleet(t *testing.T, n int, route bool) []*fleetPeer {
+	t.Helper()
+	return startFleetCfg(t, n, fleetConfig{route: route})
+}
+
+func startFleetCfg(t *testing.T, n int, cfg fleetConfig) []*fleetPeer {
 	t.Helper()
 	peers := make([]*fleetPeer, n)
 	addrs := make([]string, n)
@@ -92,7 +103,8 @@ func startFleet(t *testing.T, n int, route bool) []*fleetPeer {
 		p.srv = NewWithOptions(ctx, testUDFs(), Options{
 			Jobs:         jobs.Options{Workers: 2, QueueDepth: 8},
 			Cluster:      p.node,
-			ClusterRoute: route,
+			ClusterRoute: cfg.route,
+			ClusterExec:  cfg.exec,
 		})
 		p.httpSrv = &http.Server{Handler: p.srv}
 		go p.httpSrv.Serve(p.ln)

@@ -45,3 +45,10 @@ go test -count=1 -run='TestMetricsLint' ./restapi
 # across all three peers; and a routed job's stitched trace contains the
 # serving peer's subtree, every grafted span peer-attributed.
 go test -race -count=1 -run='TestClusterRemoteCacheHit|TestClusterMetricsAggregation|TestClusterRoutedTraceStitch' ./restapi
+# Distributed execution smoke: a 2-peer -cluster-exec fleet runs a job with
+# stages executing remotely (results equal to single-node, trace stitched,
+# profile peer-attributed, shuffle files GC'd), survives the remote peer
+# dying mid-run, and a 3-peer fleet proves via /v1/cluster/metrics that
+# remote executions landed on at least two peers.
+go test -race -count=1 -run='TestClusterDistexec' ./restapi
+RHEEM_NO_DISTEXEC=1 go test -race -count=1 -run='TestClusterDistexecKillSwitch' ./restapi
