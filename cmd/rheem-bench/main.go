@@ -57,6 +57,7 @@ var all = []experiment{
 	{"fig11", "Rheem vs Musketeer: CrocoPR", experiments.Fig11},
 	{"codec", "wire format: tagged JSON vs binary quantum codec", experiments.Codec},
 	{"fusion", "narrow-chain pipelines: fused vs per-operator execution", experiments.Fusion},
+	{"columnar", "columnar data plane: vectorized column kernels vs fused row path", experiments.Columnar},
 	{"distexec", "distributed stage execution: local vs loopback-peer dispatch", experiments.Distexec},
 	{"abl-prune", "ablation: lossless pruning vs exhaustive enumeration", experiments.AblationPruning},
 	{"abl-move", "ablation: conversion tree vs naive per-path movement", experiments.AblationMovement},

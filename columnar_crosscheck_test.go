@@ -1,0 +1,211 @@
+package rheem
+
+// Differential testing for the columnar data plane: executing with
+// vectorized column kernels and batch frames must produce exactly the same
+// sink output as the row path (core.SetColumnarDisabled / RHEEM_NO_COLUMNAR=1),
+// across random declarative plan shapes and across every engine.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rheem/internal/core"
+	"rheem/internal/platform/relstore"
+)
+
+// randomDeclPlan builds a random chain of declarative operators — the forms
+// the vectorized kernels recognize — over either Record or bare-scalar
+// sources, with occasional opaque UDFs mixed in to exercise the partial
+// vectorization (column prefix + row tail) and fallback paths.
+func randomDeclPlan(ctx *Context, rng *rand.Rand, id int) (*core.Plan, *core.Operator) {
+	b := ctx.NewPlan(fmt.Sprintf("columnar-crosscheck-%d", id))
+
+	scalars := rng.Intn(3) == 0
+	n := 200 + rng.Intn(800)
+	data := make([]any, n)
+	for i := range data {
+		if scalars {
+			data[i] = int64(rng.Intn(40) - 20)
+		} else {
+			data[i] = core.Record{
+				int64(rng.Intn(40) - 20),
+				float64(rng.Intn(20)) / 2,
+				fmt.Sprintf("g%d", rng.Intn(5)),
+			}
+		}
+	}
+	d := b.LoadCollection("src", data)
+	// isStr tracks which current columns hold strings, so generated
+	// predicates and numeric maps always stay well-typed through Projects.
+	isStr := []bool{false, false, true}
+
+	steps := 3 + rng.Intn(6)
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(5); {
+		case op == 0 && scalars:
+			d = d.FilterWhere("fw", core.Predicate{
+				Col: core.WholeQuantum, Op: core.PredOp(rng.Intn(5)), Value: int64(rng.Intn(10) - 5)})
+		case op == 0:
+			col := rng.Intn(len(isStr))
+			var val any = int64(rng.Intn(10) - 5)
+			if isStr[col] {
+				val = fmt.Sprintf("g%d", rng.Intn(5))
+			}
+			d = d.FilterWhere("fw", core.Predicate{Col: col, Op: core.PredOp(rng.Intn(5)), Value: val})
+		case op == 1 && scalars:
+			d = d.MapExpr("mx", core.MapExpr{
+				Col: core.WholeQuantum, Op: core.NumOp(rng.Intn(3)),
+				Operand: []any{int64(rng.Intn(4) + 1), 0.5}[rng.Intn(2)]})
+		case op == 1:
+			col := rng.Intn(len(isStr))
+			if isStr[col] {
+				col = 0 // column 0 is numeric in every layout this generator builds
+			}
+			if isStr[col] {
+				continue
+			}
+			d = d.MapExpr("mx", core.MapExpr{
+				Col: col, Op: core.NumOp(rng.Intn(3)),
+				Operand: []any{int64(rng.Intn(4) + 1), 0.5}[rng.Intn(2)]})
+		case op == 2 && !scalars:
+			nw := 1 + rng.Intn(len(isStr))
+			cols := make([]int, nw)
+			next := make([]bool, nw)
+			for j := range cols {
+				cols[j] = rng.Intn(len(isStr))
+				next[j] = isStr[cols[j]]
+			}
+			// Keep column 0 numeric so later MapExprs have a safe target.
+			cols[0] = 0
+			next[0] = isStr[0]
+			d = d.Project(cols...)
+			isStr = next
+		case op == 3:
+			// Opaque UDF: ends the vectorizable prefix mid-chain.
+			d = d.Map("opaque", func(q any) any { return q })
+		case op == 4 && scalars:
+			d = d.Filter("even", func(q any) bool {
+				v, ok := q.(int64)
+				return !ok || v%2 == 0
+			})
+		default:
+			d = d.Map("noop", func(q any) any { return q })
+		}
+	}
+	sink := d.CollectSink()
+	return b.Plan(), sink
+}
+
+func runColumnarVsRow(t *testing.T, build func(*Context) (*core.Plan, *core.Operator), tag string) {
+	t.Helper()
+	colCtx := fastCtx(t)
+	rowCtx := fastCtx(t)
+	planC, sinkC := build(colCtx)
+	planR, sinkR := build(rowCtx)
+
+	resC, err := colCtx.Execute(planC)
+	if err != nil {
+		t.Fatalf("%s columnar: %v\n%s", tag, err, planC)
+	}
+	prev := core.SetColumnarDisabled(true)
+	resR, err := rowCtx.Execute(planR)
+	core.SetColumnarDisabled(prev)
+	if err != nil {
+		t.Fatalf("%s row: %v", tag, err)
+	}
+	outC, err := resC.CollectFrom(sinkC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outR, err := resR.CollectFrom(sinkR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, cr := canonical(t, outC), canonical(t, outR)
+	if len(cc) != len(cr) {
+		t.Fatalf("%s: columnar produced %d quanta, row %d\n%s", tag, len(cc), len(cr), planC)
+	}
+	for j := range cc {
+		if cc[j] != cr[j] {
+			t.Fatalf("%s: result %d differs columnar vs row: %q vs %q", tag, j, cc[j], cr[j])
+		}
+	}
+}
+
+func TestCrossCheckColumnarAgainstRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1109))
+	for i := 0; i < 15; i++ {
+		seed := rng.Int63()
+		runColumnarVsRow(t, func(ctx *Context) (*core.Plan, *core.Operator) {
+			return randomDeclPlan(ctx, rand.New(rand.NewSource(seed)), i)
+		}, fmt.Sprintf("plan %d", i))
+	}
+}
+
+// declPipeline is a fixed fully-declarative chain — filter, numeric map,
+// projection, then an aggregation to force movement — pinnable to one engine.
+func declPipeline(ctx *Context, platform string) (*core.Plan, *core.Operator) {
+	b := ctx.NewPlan("decl-" + platform)
+	data := make([]any, 5000)
+	for i := range data {
+		data[i] = core.Record{int64(i % 37), float64(i%11) / 2, fmt.Sprintf("g%d", i%5)}
+	}
+	agg := b.LoadCollection("src", data).
+		FilterWhere("keep", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(5)}).
+		MapExpr("scale", core.MapExpr{Col: 1, Op: core.NumMul, Operand: int64(3)}).
+		MapExpr("shift", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(100)}).
+		Project(2, 0, 1).
+		ReduceBy("sum-by-group",
+			func(q any) any { return q.(core.Record)[0] },
+			func(a, b any) any {
+				ar, br := a.(core.Record), b.(core.Record)
+				return core.Record{ar[0], ar[1].(int64) + br[1].(int64), ar[2].(float64) + br[2].(float64)}
+			})
+	sink := agg.CollectSink()
+	p := b.Plan()
+	if platform != "" {
+		for _, op := range p.Operators() {
+			op.TargetPlatform = platform
+		}
+	}
+	return p, sink
+}
+
+func TestCrossCheckColumnarEveryEngine(t *testing.T) {
+	for _, platform := range []string{"", "streams", "spark", "flink"} {
+		name := platform
+		if name == "" {
+			name = "optimizer-choice"
+		}
+		t.Run(name, func(t *testing.T) {
+			runColumnarVsRow(t, func(ctx *Context) (*core.Plan, *core.Operator) {
+				return declPipeline(ctx, platform)
+			}, name)
+		})
+	}
+}
+
+func TestCrossCheckColumnarRelStore(t *testing.T) {
+	build := func(ctx *Context) (*core.Plan, *core.Operator) {
+		store := ctx.RelStore("pg")
+		tab, err := store.CreateTable("events", []relstore.Column{
+			{Name: "id", Type: relstore.TInt},
+			{Name: "score", Type: relstore.TFloat},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			tab.Insert(core.Record{int64(i % 101), float64(i%13) / 2})
+		}
+		d := ctx.NewPlan("rel-decl").
+			ReadTable("pg", "events", nil, &core.Predicate{Col: 0, Op: core.PredGe, Value: int64(10)}).
+			FilterWhere("hi", core.Predicate{Col: 1, Op: core.PredGt, Value: 1.0}).
+			MapExpr("bump", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(1000)}).
+			Project(1, 0)
+		sink := d.CollectSink()
+		return d.b.Plan(), sink
+	}
+	runColumnarVsRow(t, build, "relstore")
+}

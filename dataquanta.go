@@ -140,6 +140,17 @@ func (d *DataQuanta) FilterWhere(label string, where core.Predicate) *DataQuanta
 	return n
 }
 
+// MapExpr transforms each quantum with a declarative numeric expression,
+// which the vectorized kernel compiler can run as a tight per-column loop.
+// The operator still carries an equivalent row-at-a-time Map UDF, so every
+// engine and the row fallback behave identically.
+func (d *DataQuanta) MapExpr(label string, expr core.MapExpr) *DataQuanta {
+	n := d.unary(core.KindMap, label)
+	n.op.UDF.MapExpr = &expr
+	n.op.UDF.Map = expr.Fn()
+	return n
+}
+
 // MapPartitions transforms whole partitions.
 func (d *DataQuanta) MapPartitions(label string, f func([]any) []any) *DataQuanta {
 	n := d.unary(core.KindMapPart, label)

@@ -4,73 +4,12 @@
 // spark) provide the same algorithm with different execution strategies.
 package algo
 
-import "math/bits"
+import "rheem/internal/core"
 
-// Bitset is a fixed-size dense bit set.
-type Bitset struct {
-	words []uint64
-	n     int
-}
+// Bitset is a fixed-size dense bit set. It is an alias of core.Bitset: the
+// columnar batch layer uses the same bit set for validity bitmaps, and core
+// cannot import algo (algo already depends on core for quantum types).
+type Bitset = core.Bitset
 
 // NewBitset creates a bit set able to hold n bits.
-func NewBitset(n int) *Bitset {
-	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
-}
-
-// Len returns the capacity in bits.
-func (b *Bitset) Len() int { return b.n }
-
-// Set turns bit i on.
-func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
-
-// Clear turns bit i off.
-func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
-
-// Test reports whether bit i is on.
-func (b *Bitset) Test(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
-
-// Count returns the number of set bits.
-func (b *Bitset) Count() int {
-	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
-
-// ScanFrom visits every set bit with index >= start, in increasing order,
-// invoking visit for each. It is the hot loop of IEJoin.
-func (b *Bitset) ScanFrom(start int, visit func(i int)) {
-	b.ScanRange(start, b.n, visit)
-}
-
-// ScanRange visits every set bit in [start, end), in increasing order.
-func (b *Bitset) ScanRange(start, end int, visit func(i int)) {
-	if start < 0 {
-		start = 0
-	}
-	if end > b.n {
-		end = b.n
-	}
-	if start >= end {
-		return
-	}
-	wi := start >> 6
-	// Mask off bits below start in the first word.
-	w := b.words[wi] & (^uint64(0) << (uint(start) & 63))
-	for {
-		for w != 0 {
-			i := wi<<6 + bits.TrailingZeros64(w)
-			if i >= end {
-				return
-			}
-			visit(i)
-			w &= w - 1
-		}
-		wi++
-		if wi >= len(b.words) {
-			return
-		}
-		w = b.words[wi]
-	}
-}
+func NewBitset(n int) *Bitset { return core.NewBitset(n) }

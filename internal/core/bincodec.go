@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Binary quantum codec, the default wire format on every data-movement hot
@@ -42,6 +43,7 @@ const (
 	binEdge   = 0x0a // zigzag src + zigzag dst
 	binGroup  = 0x0b // encoded key + uvarint count + encoded values
 	binJSON   = 0x0c // uvarint length + plain JSON (foreign types, best effort)
+	binBatch  = 0x0d // column-wise batch: flags + nrows + ncols + columns
 )
 
 // BinaryQuantaMagic heads every binary quanta stream. The JSON codec always
@@ -231,6 +233,8 @@ func decodeQuantumBinary(data []byte) (any, []byte, error) {
 			return nil, nil, fmt.Errorf("%w: embedded JSON: %v", ErrCorruptQuantum, err)
 		}
 		return v, rest[n:], nil
+	case binBatch:
+		return decodeColumnBatch(data)
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrCorruptQuantum, tag)
 	}
@@ -272,6 +276,225 @@ func decodeZigzag(data []byte) (int64, []byte, error) {
 	return int64(u>>1) ^ -int64(u&1), data[w:], nil
 }
 
+// --- column-wise batches --------------------------------------------------
+
+// Batch framing limits. Stream writers pack runs of batchable rows into one
+// column-wise frame of up to CodecBatchRows rows; runs shorter than
+// minBatchRows stay row-framed (the per-batch header would outweigh the
+// contiguity win).
+const (
+	CodecBatchRows = 4096
+	minBatchRows   = 64
+)
+
+// Decode guards against corrupt batch headers demanding absurd allocations.
+// Our encoder never exceeds CodecBatchRows rows; the caps leave generous
+// slack for foreign writers.
+const (
+	maxBatchRows = 1 << 20
+	maxBatchCols = 1 << 16
+)
+
+// AppendColumnBatchBinary appends the column-wise encoding of a batch: the
+// binBatch tag, a flags byte (bit 0: scalar), row and column counts, then
+// each column as a type byte, an optional validity bitmap, and a contiguous
+// payload (zigzag varints, raw floats, length-prefixed strings, packed bool
+// bits, or recursively encoded escape values).
+func AppendColumnBatchBinary(buf []byte, b *ColumnBatch) ([]byte, error) {
+	buf = append(buf, binBatch)
+	var flags byte
+	if b.scalar {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(b.n))
+	buf = binary.AppendUvarint(buf, uint64(len(b.Cols)))
+	for _, col := range b.Cols {
+		buf = append(buf, byte(col.Type))
+		if col.Valid != nil {
+			buf = append(buf, 1)
+			for _, w := range col.Valid.Words() {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+		switch col.Type {
+		case ColInt64:
+			for _, v := range col.Ints {
+				buf = appendZigzag(buf, v)
+			}
+		case ColFloat64:
+			for _, v := range col.Floats {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		case ColString:
+			for _, s := range col.Strs {
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		case ColBool:
+			var cur byte
+			for i, v := range col.Bools {
+				if v {
+					cur |= 1 << (uint(i) & 7)
+				}
+				if i&7 == 7 {
+					buf = append(buf, cur)
+					cur = 0
+				}
+			}
+			if b.n&7 != 0 {
+				buf = append(buf, cur)
+			}
+		case ColAny:
+			var err error
+			for _, v := range col.Anys {
+				if buf, err = AppendQuantumBinary(buf, v); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: binary-encode batch: unknown column type %d", col.Type)
+		}
+	}
+	return buf, nil
+}
+
+func decodeColumnBatch(data []byte) (any, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("%w: short batch header", ErrCorruptQuantum)
+	}
+	flags, data := data[0], data[1:]
+	nr, w := binary.Uvarint(data)
+	if w <= 0 || nr > maxBatchRows {
+		return nil, nil, fmt.Errorf("%w: batch row count", ErrCorruptQuantum)
+	}
+	data = data[w:]
+	nc, w := binary.Uvarint(data)
+	if w <= 0 || nc > maxBatchCols {
+		return nil, nil, fmt.Errorf("%w: batch column count", ErrCorruptQuantum)
+	}
+	data = data[w:]
+	scalar := flags&1 != 0
+	if scalar && nc != 1 {
+		return nil, nil, fmt.Errorf("%w: scalar batch with %d columns", ErrCorruptQuantum, nc)
+	}
+	n := int(nr)
+	b := &ColumnBatch{n: n, scalar: scalar, Cols: make([]*Column, nc), dirty: make([]bool, nc)}
+	for c := range b.Cols {
+		if len(data) < 2 {
+			return nil, nil, fmt.Errorf("%w: short column header", ErrCorruptQuantum)
+		}
+		col := &Column{Type: ColType(data[0])}
+		hasValid := data[1]
+		data = data[2:]
+		if hasValid == 1 {
+			nw := (n + 63) / 64
+			if len(data) < 8*nw {
+				return nil, nil, fmt.Errorf("%w: short validity bitmap", ErrCorruptQuantum)
+			}
+			words := make([]uint64, nw)
+			for i := range words {
+				words[i] = binary.LittleEndian.Uint64(data[8*i:])
+			}
+			col.Valid = BitsetFromWords(words, n)
+			data = data[8*nw:]
+		} else if hasValid != 0 {
+			return nil, nil, fmt.Errorf("%w: bad validity flag", ErrCorruptQuantum)
+		}
+		var err error
+		switch col.Type {
+		case ColInt64:
+			col.Ints = make([]int64, n)
+			for i := range col.Ints {
+				if col.Ints[i], data, err = decodeZigzag(data); err != nil {
+					return nil, nil, err
+				}
+			}
+		case ColFloat64:
+			if len(data) < 8*n {
+				return nil, nil, fmt.Errorf("%w: short float column", ErrCorruptQuantum)
+			}
+			col.Floats = make([]float64, n)
+			for i := range col.Floats {
+				col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			data = data[8*n:]
+		case ColString:
+			col.Strs = make([]string, n)
+			for i := range col.Strs {
+				sn, rest, err := decodeLen(data, 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				col.Strs[i] = string(rest[:sn])
+				data = rest[sn:]
+			}
+		case ColBool:
+			nb := (n + 7) / 8
+			if len(data) < nb {
+				return nil, nil, fmt.Errorf("%w: short bool column", ErrCorruptQuantum)
+			}
+			col.Bools = make([]bool, n)
+			for i := range col.Bools {
+				col.Bools[i] = data[i>>3]&(1<<(uint(i)&7)) != 0
+			}
+			data = data[nb:]
+		case ColAny:
+			col.Anys = make([]any, n)
+			for i := range col.Anys {
+				if col.Anys[i], data, err = decodeQuantumBinary(data); err != nil {
+					return nil, nil, err
+				}
+			}
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown column type %d", ErrCorruptQuantum, col.Type)
+		}
+		b.Cols[c] = col
+	}
+	return b, data, nil
+}
+
+// TryAppendBatch encodes chunk as a single column-wise batch value when the
+// chunk is batchable and columnar encoding is enabled; ok reports whether
+// the batch encoding was taken (false falls back to per-quantum frames).
+func TryAppendBatch(buf []byte, chunk []any) (out []byte, ok bool, err error) {
+	if ColumnarDisabled() || len(chunk) < minBatchRows {
+		return buf, false, nil
+	}
+	b, okB := BatchFromRows(chunk)
+	if !okB {
+		return buf, false, nil
+	}
+	out, err = AppendColumnBatchBinary(buf, b)
+	if err != nil {
+		return buf, false, err
+	}
+	return out, true, nil
+}
+
+// --- pooled encode buffers ------------------------------------------------
+
+// Pooled scratch buffers for the binary-encode hot paths (DFS frame writes,
+// cache spills, shuffles): callers borrow one buffer for the duration of an
+// encode loop instead of growing a fresh slice per call site.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<12); return &b }}
+
+// GetEncodeBuf borrows a reusable encode buffer from the pool. Pass the
+// pointer back to PutEncodeBuf when done.
+func GetEncodeBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+
+// PutEncodeBuf returns a buffer to the pool. Oversized buffers are dropped
+// so one huge quantum doesn't pin memory across the process lifetime.
+func PutEncodeBuf(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	*b = (*b)[:0]
+	encBufPool.Put(b)
+}
+
 // --- framed streams ------------------------------------------------------
 
 // QuantaEncoder writes a framed binary quanta stream: the magic header
@@ -291,25 +514,58 @@ func NewQuantaEncoder(w io.Writer) *QuantaEncoder {
 
 // Encode appends one quantum to the stream.
 func (e *QuantaEncoder) Encode(q any) error {
+	buf, err := AppendQuantumBinary(e.scratch[:0], q)
+	if err != nil {
+		return err
+	}
+	e.scratch = buf
+	return e.writeFrame(buf)
+}
+
+// EncodeSlice appends a slice of quanta to the stream, packing runs of
+// batchable rows into column-wise batch frames of up to CodecBatchRows rows
+// each; non-batchable runs (and everything when columnar is disabled) fall
+// back to one frame per quantum. Readers expand batch frames transparently,
+// so the two layouts are interchangeable on the wire.
+func (e *QuantaEncoder) EncodeSlice(quanta []any) error {
+	for start := 0; start < len(quanta); start += CodecBatchRows {
+		end := min(start+CodecBatchRows, len(quanta))
+		chunk := quanta[start:end]
+		buf, ok, err := TryAppendBatch(e.scratch[:0], chunk)
+		if err != nil {
+			return err
+		}
+		if ok {
+			e.scratch = buf
+			if err := e.writeFrame(buf); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, q := range chunk {
+			if err := e.Encode(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *QuantaEncoder) writeFrame(payload []byte) error {
 	if !e.started {
 		e.started = true
 		if _, err := e.w.WriteString(BinaryQuantaMagic); err != nil {
 			return err
 		}
 	}
-	buf, err := AppendQuantumBinary(e.scratch[:0], q)
-	if err != nil {
-		return err
-	}
-	e.scratch = buf
-	n := binary.PutUvarint(e.lenBuf[:], uint64(len(buf)))
+	n := binary.PutUvarint(e.lenBuf[:], uint64(len(payload)))
 	if _, err := e.w.Write(e.lenBuf[:n]); err != nil {
 		return err
 	}
-	if _, err := e.w.Write(buf); err != nil {
+	if _, err := e.w.Write(payload); err != nil {
 		return err
 	}
-	addCodecBytes(n + len(buf))
+	addCodecBytes(n + len(payload))
 	return nil
 }
 
@@ -325,13 +581,12 @@ func (e *QuantaEncoder) Flush() error {
 	return e.w.Flush()
 }
 
-// WriteQuantaStream encodes quanta as a framed binary stream on w.
+// WriteQuantaStream encodes quanta as a framed binary stream on w,
+// column-batching runs of batchable rows (see EncodeSlice).
 func WriteQuantaStream(w io.Writer, quanta []any) error {
 	enc := NewQuantaEncoder(w)
-	for _, q := range quanta {
-		if err := enc.Encode(q); err != nil {
-			return err
-		}
+	if err := enc.EncodeSlice(quanta); err != nil {
+		return err
 	}
 	return enc.Flush()
 }
@@ -395,6 +650,10 @@ func readBinaryFrames(br *bufio.Reader) ([]any, error) {
 		q, err := DecodeQuantumBinary(frame)
 		if err != nil {
 			return nil, err
+		}
+		if cb, ok := q.(*ColumnBatch); ok {
+			out = cb.AppendRows(out)
+			continue
 		}
 		out = append(out, q)
 	}

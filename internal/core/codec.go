@@ -203,10 +203,8 @@ func WriteQuantaFile(path string, quanta []any) error {
 		return err
 	}
 	enc := NewQuantaEncoder(f)
-	for _, q := range quanta {
-		if err := enc.Encode(q); err != nil {
-			return fail(err)
-		}
+	if err := enc.EncodeSlice(quanta); err != nil {
+		return fail(err)
 	}
 	if err := enc.Flush(); err != nil {
 		return fail(fmt.Errorf("core: flush quanta file: %w", err))

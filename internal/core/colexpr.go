@@ -1,0 +1,120 @@
+package core
+
+import "fmt"
+
+// NumOp is a declarative arithmetic operator for MapExpr.
+type NumOp int
+
+// Declarative numeric map operations.
+const (
+	NumAdd NumOp = iota
+	NumSub
+	NumMul
+)
+
+func (o NumOp) String() string {
+	switch o {
+	case NumAdd:
+		return "+"
+	case NumSub:
+		return "-"
+	case NumMul:
+		return "*"
+	}
+	return "?"
+}
+
+// WholeQuantum, used as the Col of a MapExpr or Predicate, addresses the
+// quantum itself (a bare scalar) rather than a record field.
+const WholeQuantum = -1
+
+// MapExpr is a declarative single-column numeric map: field Col (or the
+// whole scalar quantum) combined with Operand under Op. Like Params.Where it
+// gives the system a transparent form of a UDF: the vectorized kernel
+// compiler runs it as a per-column tight loop instead of a per-quantum
+// closure call. Map operators carry it in UDF.MapExpr alongside the
+// equivalent opaque closure (Fn), which every row-at-a-time path uses.
+//
+// Arithmetic stays in the int64 domain when both the value and the operand
+// are integral, and is carried out in float64 otherwise (coercing like
+// Record.Float).
+type MapExpr struct {
+	Col     int
+	Op      NumOp
+	Operand any
+}
+
+func (e *MapExpr) String() string {
+	if e.Col == WholeQuantum {
+		return fmt.Sprintf("q %s %v", e.Op, e.Operand)
+	}
+	return fmt.Sprintf("col%d %s %v", e.Col, e.Op, e.Operand)
+}
+
+// Fn compiles the expression into a quantum map function.
+func (e *MapExpr) Fn() func(any) any {
+	return func(q any) any { return e.Apply(q) }
+}
+
+// Apply evaluates the expression against one quantum — the exact semantics
+// the vectorized path reproduces column-wise. Field expressions require a
+// Record and return a fresh copy with the field replaced.
+func (e *MapExpr) Apply(q any) any {
+	if e.Col == WholeQuantum {
+		return e.applyValue(q)
+	}
+	r, ok := q.(Record)
+	if !ok {
+		panic(fmt.Sprintf("core: map expr %s: quantum %T is not a Record", e, q))
+	}
+	out := r.Copy()
+	out[e.Col] = e.applyValue(r[e.Col])
+	return out
+}
+
+func (e *MapExpr) applyValue(v any) any {
+	if iv, ok := v.(int64); ok {
+		if w, ok := intOperand(e.Operand); ok {
+			switch e.Op {
+			case NumAdd:
+				return iv + w
+			case NumSub:
+				return iv - w
+			case NumMul:
+				return iv * w
+			}
+			panic(fmt.Sprintf("core: map expr %s: unknown op", e))
+		}
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		panic(fmt.Sprintf("core: map expr %s: value %T is not numeric", e, v))
+	}
+	w, ok := toFloat(e.Operand)
+	if !ok {
+		panic(fmt.Sprintf("core: map expr %s: operand %T is not numeric", e, e.Operand))
+	}
+	switch e.Op {
+	case NumAdd:
+		return f + w
+	case NumSub:
+		return f - w
+	case NumMul:
+		return f * w
+	}
+	panic(fmt.Sprintf("core: map expr %s: unknown op", e))
+}
+
+// intOperand reports v as int64 when it is an integral Go type, keeping
+// int64-domain arithmetic transparent to both execution paths.
+func intOperand(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	case int32:
+		return int64(n), true
+	}
+	return 0, false
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Columnar data plane. A ColumnBatch holds a batch of data quanta
+// column-major: one typed buffer per record field (or one buffer total for
+// bare-scalar quanta), with validity bitmaps for typed columns that contain
+// nils and an []any escape column for mixed or foreign element types. The
+// vectorized fused kernels (internal/platform/driverutil) run declarative
+// predicates, numeric maps, and projections as per-column tight loops over
+// these buffers with a selection vector, and the binary codec ships batches
+// as single column-wise frames (see bincodec.go) so shuffles and DFS files
+// move contiguous columns instead of one boxed row at a time.
+
+var columnarOff atomic.Bool
+
+func init() {
+	if os.Getenv("RHEEM_NO_COLUMNAR") == "1" {
+		columnarOff.Store(true)
+	}
+}
+
+// ColumnarDisabled reports whether the columnar data plane is globally
+// disabled. It is toggled by the RHEEM_NO_COLUMNAR=1 environment variable or
+// SetColumnarDisabled, mirroring the fusion kill switch: kernels fall back
+// to the row path and the codec writes one frame per quantum.
+func ColumnarDisabled() bool { return columnarOff.Load() }
+
+// SetColumnarDisabled toggles the columnar data plane at runtime and returns
+// the previous setting. Tests use it to cross-check columnar execution
+// against the row path.
+func SetColumnarDisabled(off bool) bool { return columnarOff.Swap(off) }
+
+// ColType identifies the physical representation of one column.
+type ColType uint8
+
+// Column physical types.
+const (
+	ColInt64   ColType = iota // int64 buffer
+	ColFloat64                // float64 buffer
+	ColString                 // string buffer
+	ColBool                   // bool buffer
+	ColAny                    // escape: mixed or foreign values, kept boxed
+)
+
+func (t ColType) String() string {
+	switch t {
+	case ColInt64:
+		return "int64"
+	case ColFloat64:
+		return "float64"
+	case ColString:
+		return "string"
+	case ColBool:
+		return "bool"
+	}
+	return "any"
+}
+
+// Column is one typed buffer of a ColumnBatch. Exactly one of the value
+// slices is populated, selected by Type. Valid, when non-nil, flags the rows
+// whose value is present (a cleared bit reads back as nil); ColAny columns
+// keep nils inline and never carry a bitmap.
+type Column struct {
+	Type   ColType
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Anys   []any
+	Valid  *Bitset
+}
+
+// ColumnBatch is a column-major batch of data quanta: either Record quanta
+// of one common width (one column per field) or bare scalar quanta (a single
+// column, Scalar() true).
+type ColumnBatch struct {
+	Cols   []*Column
+	n      int
+	scalar bool
+	// rows keeps the original boxed quanta when the batch was built from
+	// rows (nil after wire decode); emission reuses them for columns the
+	// kernel never rewrote, so filter-only chains re-box nothing.
+	rows  []any
+	dirty []bool
+}
+
+// Len returns the number of rows in the batch.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Width returns the number of columns.
+func (b *ColumnBatch) Width() int { return len(b.Cols) }
+
+// Scalar reports whether the batch holds bare scalar quanta rather than
+// Records.
+func (b *ColumnBatch) Scalar() bool { return b.scalar }
+
+// BatchFromRows builds a column-major batch from row-major quanta. ok is
+// false when the rows have no columnar representation: empty input, Records
+// of differing widths, or quantum kinds the batch does not model (KV, Edge,
+// Group, slices, mixes of Records and scalars). Within a column, values that
+// are not all of one of the four typed kinds take the ColAny escape, and
+// nils alongside typed values become validity-bitmap holes, so the
+// row→column→row round trip reproduces the boxed values exactly.
+func BatchFromRows(rows []any) (*ColumnBatch, bool) {
+	if len(rows) == 0 {
+		return nil, false
+	}
+	if r, ok := rows[0].(Record); ok {
+		w := len(r)
+		for _, q := range rows[1:] {
+			rr, ok := q.(Record)
+			if !ok || len(rr) != w {
+				return nil, false
+			}
+		}
+		b := &ColumnBatch{n: len(rows), rows: rows, dirty: make([]bool, w), Cols: make([]*Column, w)}
+		for c := range b.Cols {
+			b.Cols[c] = buildColumn(rows, c)
+		}
+		return b, true
+	}
+	for _, q := range rows {
+		switch q.(type) {
+		case int64, float64, string, bool, nil:
+		default:
+			return nil, false
+		}
+	}
+	b := &ColumnBatch{n: len(rows), rows: rows, scalar: true, dirty: make([]bool, 1)}
+	b.Cols = []*Column{buildColumn(rows, -1)}
+	return b, true
+}
+
+// colValue extracts column c of one quantum; c < 0 addresses the bare
+// scalar quantum itself.
+func colValue(q any, c int) any {
+	if c < 0 {
+		return q
+	}
+	return q.(Record)[c]
+}
+
+func buildColumn(rows []any, c int) *Column {
+	// First pass: a column is typed only when every present value has the
+	// same dynamic type out of the four column kinds. Anything else — mixed
+	// numerics, Go ints, foreign types, all-nil columns — takes the ColAny
+	// escape so emission reproduces the boxed values bit-for-bit.
+	t := ColAny
+	sawVal := false
+	nulls := 0
+	for _, q := range rows {
+		v := colValue(q, c)
+		if v == nil {
+			nulls++
+			continue
+		}
+		var vt ColType
+		switch v.(type) {
+		case int64:
+			vt = ColInt64
+		case float64:
+			vt = ColFloat64
+		case string:
+			vt = ColString
+		case bool:
+			vt = ColBool
+		default:
+			return anyColumn(rows, c)
+		}
+		if !sawVal {
+			t, sawVal = vt, true
+		} else if vt != t {
+			return anyColumn(rows, c)
+		}
+	}
+	if !sawVal {
+		return anyColumn(rows, c)
+	}
+	col := &Column{Type: t}
+	if nulls > 0 {
+		col.Valid = NewBitset(len(rows))
+	}
+	switch t {
+	case ColInt64:
+		col.Ints = make([]int64, len(rows))
+		for i, q := range rows {
+			if v, ok := colValue(q, c).(int64); ok {
+				col.Ints[i] = v
+				if col.Valid != nil {
+					col.Valid.Set(i)
+				}
+			}
+		}
+	case ColFloat64:
+		col.Floats = make([]float64, len(rows))
+		for i, q := range rows {
+			if v, ok := colValue(q, c).(float64); ok {
+				col.Floats[i] = v
+				if col.Valid != nil {
+					col.Valid.Set(i)
+				}
+			}
+		}
+	case ColString:
+		col.Strs = make([]string, len(rows))
+		for i, q := range rows {
+			if v, ok := colValue(q, c).(string); ok {
+				col.Strs[i] = v
+				if col.Valid != nil {
+					col.Valid.Set(i)
+				}
+			}
+		}
+	case ColBool:
+		col.Bools = make([]bool, len(rows))
+		for i, q := range rows {
+			if v, ok := colValue(q, c).(bool); ok {
+				col.Bools[i] = v
+				if col.Valid != nil {
+					col.Valid.Set(i)
+				}
+			}
+		}
+	}
+	return col
+}
+
+func anyColumn(rows []any, c int) *Column {
+	col := &Column{Type: ColAny, Anys: make([]any, len(rows))}
+	for i, q := range rows {
+		col.Anys[i] = colValue(q, c)
+	}
+	return col
+}
+
+// AppendRows appends every row of the batch to dst in row-major form.
+func (b *ColumnBatch) AppendRows(dst []any) []any { return b.EmitRows(dst, nil, nil) }
+
+// EmitRows appends the selected rows (sel nil = all, in order) to dst,
+// projected to the proj columns (nil = every column in order). Columns the
+// kernel never rewrote re-emit the original boxed values; a clean batch with
+// identity projection re-emits the original quanta without allocating.
+func (b *ColumnBatch) EmitRows(dst []any, sel []int, proj []int) []any {
+	if b.scalar {
+		if sel == nil {
+			for i := 0; i < b.n; i++ {
+				dst = append(dst, b.value(0, i))
+			}
+			return dst
+		}
+		for _, i := range sel {
+			dst = append(dst, b.value(0, i))
+		}
+		return dst
+	}
+	if proj == nil && b.rows != nil && !b.anyDirty() {
+		if sel == nil {
+			return append(dst, b.rows...)
+		}
+		for _, i := range sel {
+			dst = append(dst, b.rows[i])
+		}
+		return dst
+	}
+	cols := proj
+	if cols == nil {
+		cols = make([]int, len(b.Cols))
+		for c := range cols {
+			cols[c] = c
+		}
+	}
+	if sel == nil {
+		for i := 0; i < b.n; i++ {
+			dst = append(dst, b.emitRecord(i, cols))
+		}
+		return dst
+	}
+	for _, i := range sel {
+		dst = append(dst, b.emitRecord(i, cols))
+	}
+	return dst
+}
+
+func (b *ColumnBatch) emitRecord(i int, cols []int) Record {
+	rec := make(Record, len(cols))
+	for j, c := range cols {
+		rec[j] = b.value(c, i)
+	}
+	return rec
+}
+
+func (b *ColumnBatch) anyDirty() bool {
+	for _, d := range b.dirty {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// value returns the boxed value of column c at row i, reusing the original
+// boxed value when the column was never rewritten.
+func (b *ColumnBatch) value(c, i int) any {
+	if b.rows != nil && !b.dirty[c] {
+		if b.scalar {
+			return b.rows[i]
+		}
+		return b.rows[i].(Record)[c]
+	}
+	return b.boxed(c, i)
+}
+
+// boxed boxes column c's row-i value from the typed buffers.
+func (b *ColumnBatch) boxed(c, i int) any {
+	col := b.Cols[c]
+	if col.Valid != nil && !col.Valid.Test(i) {
+		return nil
+	}
+	switch col.Type {
+	case ColInt64:
+		return col.Ints[i]
+	case ColFloat64:
+		return col.Floats[i]
+	case ColString:
+		return col.Strs[i]
+	case ColBool:
+		return col.Bools[i]
+	default:
+		return col.Anys[i]
+	}
+}
+
+// --- vectorized column operators -----------------------------------------
+
+// predMask decomposes a comparison operator into which of the three
+// orderings (<, ==, >) satisfy it, so filter loops test without branching on
+// the operator per row. An unknown operator keeps nothing, like Eval.
+func predMask(op PredOp) (lt, eq, gt bool) {
+	switch op {
+	case PredEq:
+		return false, true, false
+	case PredLt:
+		return true, false, false
+	case PredLe:
+		return true, true, false
+	case PredGt:
+		return false, false, true
+	case PredGe:
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// VecFilterOK reports whether FilterSel evaluates p against column c with
+// semantics identical to the row path: string predicates need a fully-valid
+// string column, anything else a fully-valid numeric column. Callers fall
+// back to the row kernel otherwise (which also reproduces the row path's
+// panics for genuinely ill-typed data).
+func (b *ColumnBatch) VecFilterOK(c int, p *Predicate) bool {
+	if c < 0 || c >= len(b.Cols) {
+		return false
+	}
+	col := b.Cols[c]
+	if col.Valid != nil {
+		return false
+	}
+	if _, ok := p.Value.(string); ok {
+		return col.Type == ColString
+	}
+	return col.Type == ColInt64 || col.Type == ColFloat64
+}
+
+// FilterSel evaluates p against column c for the rows in sel (nil = all) and
+// appends the surviving row indices to out. Numeric comparisons run in the
+// float64 domain exactly like Record.Float-based evaluation. Callers must
+// have checked VecFilterOK.
+func (b *ColumnBatch) FilterSel(c int, p *Predicate, sel, out []int) []int {
+	col := b.Cols[c]
+	lt, eq, gt := predMask(p.Op)
+	if v, ok := p.Value.(string); ok {
+		xs := col.Strs
+		if sel == nil {
+			for i := 0; i < b.n; i++ {
+				if s := xs[i]; (lt && s < v) || (eq && s == v) || (gt && s > v) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if s := xs[i]; (lt && s < v) || (eq && s == v) || (gt && s > v) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	w := numOf(p.Value)
+	if col.Type == ColInt64 {
+		xs := col.Ints
+		if sel == nil {
+			for i := 0; i < b.n; i++ {
+				if x := float64(xs[i]); (lt && x < w) || (eq && x == w) || (gt && x > w) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if x := float64(xs[i]); (lt && x < w) || (eq && x == w) || (gt && x > w) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	xs := col.Floats
+	if sel == nil {
+		for i := 0; i < b.n; i++ {
+			if x := xs[i]; (lt && x < w) || (eq && x == w) || (gt && x > w) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := xs[i]; (lt && x < w) || (eq && x == w) || (gt && x > w) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// VecMapOK reports whether ApplyNumExpr can run e against column c with
+// row-path-identical semantics: a fully-valid numeric column and a numeric
+// operand.
+func (b *ColumnBatch) VecMapOK(c int, e *MapExpr) bool {
+	if c < 0 || c >= len(b.Cols) {
+		return false
+	}
+	col := b.Cols[c]
+	if col.Valid != nil {
+		return false
+	}
+	if col.Type != ColInt64 && col.Type != ColFloat64 {
+		return false
+	}
+	_, ok := toFloat(e.Operand)
+	return ok
+}
+
+// ApplyNumExpr rewrites column c in place for the rows in sel (nil = all)
+// and marks the column dirty. Arithmetic follows MapExpr.Apply: int64
+// columns stay integral under an integral operand and migrate to float64
+// otherwise. Rows outside sel are dead (already filtered out) and may be
+// rewritten freely. Callers must have checked VecMapOK.
+func (b *ColumnBatch) ApplyNumExpr(c int, e *MapExpr, sel []int) {
+	col := b.Cols[c]
+	b.dirty[c] = true
+	if col.Type == ColInt64 {
+		if w, ok := intOperand(e.Operand); ok {
+			xs := col.Ints
+			switch e.Op {
+			case NumAdd:
+				if sel == nil {
+					for i := range xs {
+						xs[i] += w
+					}
+				} else {
+					for _, i := range sel {
+						xs[i] += w
+					}
+				}
+			case NumSub:
+				if sel == nil {
+					for i := range xs {
+						xs[i] -= w
+					}
+				} else {
+					for _, i := range sel {
+						xs[i] -= w
+					}
+				}
+			case NumMul:
+				if sel == nil {
+					for i := range xs {
+						xs[i] *= w
+					}
+				} else {
+					for _, i := range sel {
+						xs[i] *= w
+					}
+				}
+			default:
+				panic("core: map expr " + e.String() + ": unknown op")
+			}
+			return
+		}
+		// Integral column, fractional operand: the result domain is float64,
+		// so migrate the whole column (dead rows included; they are never
+		// emitted).
+		fs := make([]float64, len(col.Ints))
+		for i, v := range col.Ints {
+			fs[i] = float64(v)
+		}
+		col.Ints, col.Floats, col.Type = nil, fs, ColFloat64
+	}
+	w, _ := toFloat(e.Operand)
+	xs := col.Floats
+	switch e.Op {
+	case NumAdd:
+		if sel == nil {
+			for i := range xs {
+				xs[i] += w
+			}
+		} else {
+			for _, i := range sel {
+				xs[i] += w
+			}
+		}
+	case NumSub:
+		if sel == nil {
+			for i := range xs {
+				xs[i] -= w
+			}
+		} else {
+			for _, i := range sel {
+				xs[i] -= w
+			}
+		}
+	case NumMul:
+		if sel == nil {
+			for i := range xs {
+				xs[i] *= w
+			}
+		} else {
+			for _, i := range sel {
+				xs[i] *= w
+			}
+		}
+	default:
+		panic("core: map expr " + e.String() + ": unknown op")
+	}
+}

@@ -222,6 +222,18 @@ type OpStats struct {
 	Runtime time.Duration // attributed share of the stage runtime
 }
 
+// VectorChainStats describes the columnar execution of one fused chain: how
+// many of its leading steps compiled to column-wise loops, and how many
+// partition batches / rows ran vectorized vs. fell back to the row kernel
+// (unbatchable input, type or null mismatches, sniffed steps).
+type VectorChainStats struct {
+	Ops       []*Operator // the chain, head first
+	VecSteps  int         // leading steps compiled to column loops
+	Batches   int64       // partitions executed column-wise
+	Rows      int64       // rows that took the vectorized path
+	Fallbacks int64       // partitions that fell back to the row kernel
+}
+
 // StageStats are the monitor's observations of one stage execution.
 type StageStats struct {
 	Stage    *Stage
@@ -231,6 +243,11 @@ type StageStats struct {
 	// FusedChains lists the narrow-operator chains the engine executed as
 	// single-pass fused kernels (each entry is the chain's ops, head first).
 	FusedChains [][]*Operator
+
+	// Vectorized records, per fused chain whose leading steps compiled to
+	// column-wise loops, what the vectorized path actually did at run time
+	// (the same chain appears in FusedChains too).
+	Vectorized []VectorChainStats
 
 	// Resource accounting for per-job profiles. CPUTime, AllocBytes, and
 	// BytesMoved are the stage's share of its wave's process-level deltas,

@@ -102,9 +102,15 @@ func (b BroadcastCtx) Get(label string) []any { return b[label] }
 // UDFs bundles the user-defined functions an operator may carry. Which
 // fields are consulted depends on the operator kind.
 type UDFs struct {
-	Map      func(any) any       // Map
-	FlatMap  func(any) []any     // FlatMap
-	Pred     func(any) bool      // Filter
+	Map     func(any) any   // Map
+	FlatMap func(any) []any // FlatMap
+	Pred    func(any) bool  // Filter
+
+	// MapExpr, when set, is the declarative form of Map (builders keep the
+	// two consistent: Map = MapExpr.Fn()). Row-at-a-time paths only ever
+	// call Map; the vectorized kernel compiler recognizes MapExpr and runs
+	// it as a per-column tight loop.
+	MapExpr  *MapExpr
 	MapPart  func([]any) []any   // MapPartitions
 	Key      func(any) any       // ReduceBy, GroupBy, Join (left), CoGroup (left)
 	KeyRight func(any) any       // Join (right), CoGroup (right)

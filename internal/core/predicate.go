@@ -30,11 +30,13 @@ func (o PredOp) String() string {
 	return "?"
 }
 
-// Predicate is a declarative single-column comparison over Record quanta.
-// Unlike an opaque UDF predicate, relational platforms can push it into
-// scans and satisfy it from indexes; general-purpose platforms evaluate it
-// like any predicate. Filter operators carry it in Params.Where (instead
-// of, or in addition to, UDF.Pred).
+// Predicate is a declarative single-column comparison over Record quanta —
+// or, with Col == WholeQuantum, over bare scalar quanta. Unlike an opaque
+// UDF predicate, relational platforms can push it into scans and satisfy it
+// from indexes, and the vectorized kernels evaluate it as a per-column tight
+// loop; general-purpose platforms evaluate it like any predicate. Filter
+// operators carry it in Params.Where (instead of, or in addition to,
+// UDF.Pred).
 type Predicate struct {
 	Col   int
 	Op    PredOp
@@ -77,33 +79,75 @@ func (p *Predicate) Eval(r Record) bool {
 	return false
 }
 
-// Fn compiles the predicate into a quantum predicate function.
-func (p *Predicate) Fn() func(any) bool {
-	return func(q any) bool {
+// EvalQuantum evaluates the predicate against one quantum. A field
+// predicate requires a Record (anything else is filtered out, never a type
+// error); a WholeQuantum predicate compares the bare value itself, coercing
+// exactly like the Record accessors do.
+func (p *Predicate) EvalQuantum(q any) bool {
+	if p.Col != WholeQuantum {
 		r, ok := q.(Record)
 		if !ok {
 			return false
 		}
 		return p.Eval(r)
 	}
+	switch v := p.Value.(type) {
+	case string:
+		s, ok := q.(string)
+		if !ok {
+			s = fmt.Sprint(q)
+		}
+		switch p.Op {
+		case PredEq:
+			return s == v
+		case PredLt:
+			return s < v
+		case PredLe:
+			return s <= v
+		case PredGt:
+			return s > v
+		case PredGe:
+			return s >= v
+		}
+	default:
+		f, ok := toFloat(q)
+		if !ok {
+			panic(fmt.Sprintf("core: quantum is %T, not numeric", q))
+		}
+		w := numOf(p.Value)
+		switch p.Op {
+		case PredEq:
+			return f == w
+		case PredLt:
+			return f < w
+		case PredLe:
+			return f <= w
+		case PredGt:
+			return f > w
+		case PredGe:
+			return f >= w
+		}
+	}
+	return false
+}
+
+// Fn compiles the predicate into a quantum predicate function.
+func (p *Predicate) Fn() func(any) bool {
+	return func(q any) bool { return p.EvalQuantum(q) }
 }
 
 func (p *Predicate) String() string {
+	if p.Col == WholeQuantum {
+		return fmt.Sprintf("q %s %v", p.Op, p.Value)
+	}
 	return fmt.Sprintf("col%d %s %v", p.Col, p.Op, p.Value)
 }
 
+// numOf coerces a predicate comparison value to float64, sharing the
+// numeric-coercion table in toFloat.
 func numOf(v any) float64 {
-	switch n := v.(type) {
-	case float64:
-		return n
-	case float32:
-		return float64(n)
-	case int:
-		return float64(n)
-	case int32:
-		return float64(n)
-	case int64:
-		return float64(n)
+	if f, ok := toFloat(v); ok {
+		return f
 	}
 	panic(fmt.Sprintf("core: predicate value %T is not numeric", v))
 }

@@ -26,36 +26,20 @@ func (r Record) Field(i int) any { return r[i] }
 // Float returns the i-th attribute coerced to float64. It panics if the
 // attribute is not numeric, mirroring a UDF type error.
 func (r Record) Float(i int) float64 {
-	switch v := r[i].(type) {
-	case float64:
-		return v
-	case float32:
-		return float64(v)
-	case int:
-		return float64(v)
-	case int32:
-		return float64(v)
-	case int64:
-		return float64(v)
-	default:
+	v, ok := toFloat(r[i])
+	if !ok {
 		panic(fmt.Sprintf("core: record field %d is %T, not numeric", i, r[i]))
 	}
+	return v
 }
 
 // Int returns the i-th attribute coerced to int64.
 func (r Record) Int(i int) int64 {
-	switch v := r[i].(type) {
-	case int64:
-		return v
-	case int:
-		return int64(v)
-	case int32:
-		return int64(v)
-	case float64:
-		return int64(v)
-	default:
+	v, ok := toInt(r[i])
+	if !ok {
 		panic(fmt.Sprintf("core: record field %d is %T, not integral", i, r[i]))
 	}
+	return v
 }
 
 // String returns the i-th attribute coerced to string.
@@ -210,6 +194,8 @@ func CompareAny(a, b any) int {
 	}
 }
 
+// toFloat is the single numeric-coercion table shared by Record.Float,
+// predicate evaluation, MapExpr arithmetic, and CompareAny.
 func toFloat(v any) (float64, bool) {
 	switch n := v.(type) {
 	case float64:
@@ -224,6 +210,26 @@ func toFloat(v any) (float64, bool) {
 		return float64(n), true
 	case uint64:
 		return float64(n), true
+	}
+	return 0, false
+}
+
+// toInt is toFloat's integral twin, shared by Record.Int. Floating values
+// truncate toward zero like a Go conversion.
+func toInt(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	case int32:
+		return int64(n), true
+	case float64:
+		return int64(n), true
+	case float32:
+		return int64(n), true
+	case uint64:
+		return int64(n), true
 	}
 	return 0, false
 }

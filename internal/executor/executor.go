@@ -151,6 +151,10 @@ func (ex *Executor) registerMetricsHelp() {
 	ex.Metrics.Help("rheem_executor_stages_total", "Stages executed, by platform.")
 	ex.Metrics.Help("rheem_executor_stage_seconds_total", "Cumulative stage wall time in seconds, by platform.")
 	ex.Metrics.Help("rheem_fused_chains_total", "Narrow-operator chains executed as fused single-pass kernels, by platform.")
+	ex.Metrics.Help("rheem_columnar_chains_total", "Fused chains whose leading steps compiled to vectorized column loops, by platform.")
+	ex.Metrics.Help("rheem_columnar_batches_total", "Partition batches executed column-wise by vectorized kernels, by platform.")
+	ex.Metrics.Help("rheem_columnar_rows_total", "Rows processed through the vectorized column path, by platform.")
+	ex.Metrics.Help("rheem_columnar_fallbacks_total", "Partition batches that fell back from the column path to the row kernel, by platform.")
 }
 
 // run executes ep; loopVar/outerChans are set for loop-body executions.
@@ -339,6 +343,19 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, runID string, lo
 				if n := len(oc.stats.FusedChains); n > 0 {
 					ex.Metrics.Counter("rheem_fused_chains_total", telemetry.L("platform", oc.stage.Platform)).Add(float64(n))
 				}
+				if n := len(oc.stats.Vectorized); n > 0 {
+					pl := telemetry.L("platform", oc.stage.Platform)
+					ex.Metrics.Counter("rheem_columnar_chains_total", pl).Add(float64(n))
+					var batches, rows, fallbacks int64
+					for _, v := range oc.stats.Vectorized {
+						batches += v.Batches
+						rows += v.Rows
+						fallbacks += v.Fallbacks
+					}
+					ex.Metrics.Counter("rheem_columnar_batches_total", pl).Add(float64(batches))
+					ex.Metrics.Counter("rheem_columnar_rows_total", pl).Add(float64(rows))
+					ex.Metrics.Counter("rheem_columnar_fallbacks_total", pl).Add(float64(fallbacks))
+				}
 			}
 		}
 
@@ -396,7 +413,9 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, runID string, lo
 // ending at the stage's completion instant (attribution, not measurement).
 func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) {
 	stSp.SetFloat("runtime_ms", float64(stats.Runtime)/float64(time.Millisecond))
-	// One span per fused chain, carrying the single-pass kernel's op list.
+	// One span per fused chain, carrying the single-pass kernel's op list
+	// and, when the chain's leading steps vectorized, the columnar-batch
+	// execution counters.
 	for _, chain := range stats.FusedChains {
 		names := make([]string, len(chain))
 		for i, op := range chain {
@@ -406,6 +425,17 @@ func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) 
 		fuSp.SetAttr("platform", s.Platform)
 		fuSp.SetAttr("ops", strings.Join(names, " → "))
 		fuSp.SetInt("chain_len", int64(len(chain)))
+		for _, v := range stats.Vectorized {
+			if len(chain) == 0 || len(v.Ops) == 0 || v.Ops[0] != chain[0] {
+				continue
+			}
+			fuSp.SetAttr("columnar-batch", "true")
+			fuSp.SetInt("vectorized_steps", int64(v.VecSteps))
+			fuSp.SetInt("columnar_batches", v.Batches)
+			fuSp.SetInt("columnar_rows", v.Rows)
+			fuSp.SetInt("columnar_fallbacks", v.Fallbacks)
+			break
+		}
 		fuSp.End()
 	}
 	var total time.Duration

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rheem"
+	"rheem/internal/core"
+	"rheem/internal/tasks"
+)
+
+// Columnar measures the columnar data plane: declarative chains executed with
+// vectorized column kernels vs. the fused row path (RHEEM_NO_COLUMNAR), per
+// shape. Both modes fuse, so the delta isolates batch conversion plus
+// per-column tight loops against per-quantum interface dispatch. Three
+// shapes: scan (numeric maps only), filter (selection-vector heavy), and
+// aggregate (declarative prefix feeding a wide reduce, where the column path
+// only covers the prefix).
+func Columnar(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	n := opts.n(1000000)
+	data := make([]any, n)
+	for i := range data {
+		data[i] = core.Record{int64(i % 9973), float64(i%101) / 2, fmt.Sprintf("g%d", i%7)}
+	}
+
+	build := func(ctx *rheem.Context, shape, platform string) (*core.Plan, *core.Operator) {
+		b := ctx.NewPlan("columnar-" + shape + "-" + platform)
+		d := b.LoadCollection("recs", data)
+		switch shape {
+		case "scan":
+			d = d.MapExpr("add", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(7)}).
+				MapExpr("mul", core.MapExpr{Col: 0, Op: core.NumMul, Operand: int64(3)}).
+				MapExpr("scale", core.MapExpr{Col: 1, Op: core.NumMul, Operand: 1.5}).
+				MapExpr("sub", core.MapExpr{Col: 0, Op: core.NumSub, Operand: int64(11)}).
+				Project(0, 1)
+		case "filter":
+			d = d.FilterWhere("gt", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(1000)}).
+				MapExpr("add", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(1)}).
+				FilterWhere("le", core.Predicate{Col: 0, Op: core.PredLe, Value: int64(9000)}).
+				FilterWhere("hot", core.Predicate{Col: 1, Op: core.PredGe, Value: 10.0}).
+				Project(1, 0)
+		case "aggregate":
+			d = d.FilterWhere("gt", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(500)}).
+				MapExpr("add", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(5)}).
+				Project(2, 0).
+				ReduceBy("sum-by-group",
+					func(q any) any { return q.(core.Record)[0] },
+					func(a, b any) any {
+						ar, br := a.(core.Record), b.(core.Record)
+						return core.Record{ar[0], ar[1].(int64) + br[1].(int64)}
+					})
+		}
+		sink := d.CollectSink()
+		p := b.Plan()
+		tasks.PinAll(p, platform)
+		return p, sink
+	}
+
+	var rows []Row
+	for _, shape := range []string{"scan", "filter", "aggregate"} {
+		for _, platform := range []string{"streams", "spark", "flink"} {
+			cfg := fmt.Sprintf("shape=%s platform=%s", shape, platform)
+			for _, system := range []string{"columnar", "row"} {
+				ctx, err := newCtx()
+				if err != nil {
+					return nil, err
+				}
+				plan, sink := build(ctx, shape, platform)
+				prev := core.SetColumnarDisabled(system == "row")
+				ms, err := timed(func() error {
+					res, err := ctx.Execute(plan, rheem.WithProgressive(false))
+					if err != nil {
+						return err
+					}
+					out, err := res.CollectFrom(sink)
+					if err != nil {
+						return err
+					}
+					if len(out) == 0 {
+						return fmt.Errorf("columnar %s %s: empty result", cfg, system)
+					}
+					return nil
+				})
+				core.SetColumnarDisabled(prev)
+				if err != nil {
+					return nil, fmt.Errorf("columnar %s %s: %w", cfg, system, err)
+				}
+				rows = append(rows, Row{Figure: "columnar", Config: cfg, System: system, Ms: ms})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -17,6 +17,10 @@ import (
 // WriteDFSQuanta encodes quanta into a framed binary DFS file. The name may
 // carry the dfs:// scheme. A mid-write encode or replication error aborts
 // the file (no metadata, blocks removed) rather than leaving a torn object.
+// Runs of batchable rows are packed into column-wise batch frames (one frame
+// per core.CodecBatchRows rows); readers expand them transparently. The
+// encode buffer is borrowed from the shared pool so shuffle-heavy jobs don't
+// regrow a scratch slice per partition file.
 func WriteDFSQuanta(store *dfs.Store, name string, data []any) error {
 	fw, err := store.CreateFrames(dfs.TrimScheme(name))
 	if err != nil {
@@ -26,15 +30,34 @@ func WriteDFSQuanta(store *dfs.Store, name string, data []any) error {
 		fw.Abort()
 		return err
 	}
-	var buf []byte
-	for _, q := range data {
-		if buf, err = core.AppendQuantumBinary(buf[:0], q); err != nil {
+	bufp := core.GetEncodeBuf()
+	defer core.PutEncodeBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
+	for start := 0; start < len(data); start += core.CodecBatchRows {
+		end := min(start+core.CodecBatchRows, len(data))
+		chunk := data[start:end]
+		var ok bool
+		if buf, ok, err = core.TryAppendBatch(buf[:0], chunk); err != nil {
 			fw.Abort()
 			return err
 		}
-		if err := fw.WriteFrame(buf); err != nil {
-			fw.Abort()
-			return err
+		if ok {
+			if err := fw.WriteFrame(buf); err != nil {
+				fw.Abort()
+				return err
+			}
+			continue
+		}
+		for _, q := range chunk {
+			if buf, err = core.AppendQuantumBinary(buf[:0], q); err != nil {
+				fw.Abort()
+				return err
+			}
+			if err := fw.WriteFrame(buf); err != nil {
+				fw.Abort()
+				return err
+			}
 		}
 	}
 	return fw.Close()
@@ -61,11 +84,17 @@ func ReadDFSQuantaBlock(store *dfs.Store, name string, index int) ([]any, error)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]any, len(frames))
-		for i, f := range frames {
-			if out[i], err = core.DecodeQuantumBinary(f); err != nil {
+		out := make([]any, 0, len(frames))
+		for _, f := range frames {
+			q, err := core.DecodeQuantumBinary(f)
+			if err != nil {
 				return nil, err
 			}
+			if cb, ok := q.(*core.ColumnBatch); ok {
+				out = cb.AppendRows(out)
+				continue
+			}
+			out = append(out, q)
 		}
 		return out, nil
 	}

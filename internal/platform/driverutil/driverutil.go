@@ -96,18 +96,26 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 		chains, covered = PlanFusion(stage)
 	}
 	var fusedChains [][]*core.Operator
+	type vecRun struct {
+		ops    []*core.Operator
+		kernel *VectorKernel
+	}
+	var vecRuns []vecRun
 
 	for _, op := range stage.Ops {
 		if covered[op] {
 			continue // runs inside the fused chain rooted at its head
 		}
 		if chain := chains[op]; chain != nil {
-			elapsed, err := runChain(e, ce, stage, chain, in, results, counters)
+			kernel, elapsed, err := runChain(e, ce, stage, chain, in, results, counters)
 			if err != nil {
 				return nil, nil, err
 			}
 			attributeChainTime(chain, counters, elapsed, opTimes)
 			fusedChains = append(fusedChains, chain.Ops)
+			if kernel.VecLen() > 0 {
+				vecRuns = append(vecRuns, vecRun{ops: chain.Ops, kernel: kernel})
+			}
 			continue
 		}
 		ins, err := resolveInputs(e, stage, op, in, results)
@@ -157,6 +165,24 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 		Ops:         map[*core.Operator]core.OpStats{},
 		FusedChains: fusedChains,
 	}
+	// Vectorized-run counters are read after the terminal-out loop: lazy
+	// engines only run their kernels when ToChannel materializes the flow.
+	// Chains whose column path never engaged — kill switch on, or every
+	// partition empty — are not reported: Vectorized describes what the
+	// columnar plane actually did, not what compiled.
+	for _, vr := range vecRuns {
+		batches, rows, fallbacks := vr.kernel.Stats()
+		if batches == 0 && fallbacks == 0 {
+			continue
+		}
+		stats.Vectorized = append(stats.Vectorized, core.VectorChainStats{
+			Ops:       vr.ops,
+			VecSteps:  vr.kernel.VecLen(),
+			Batches:   batches,
+			Rows:      rows,
+			Fallbacks: fallbacks,
+		})
+	}
 	for op, c := range counters {
 		stats.OutCards[op] = *c
 		stats.Ops[op] = core.OpStats{OutCard: *c, Runtime: opTimes[op]}
@@ -175,16 +201,16 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 // are registered for all chain operators so cardinality accounting matches
 // unfused execution.
 func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in *core.Inputs,
-	results map[*core.Operator]Data, counters map[*core.Operator]*int64) (time.Duration, error) {
+	results map[*core.Operator]Data, counters map[*core.Operator]*int64) (*VectorKernel, time.Duration, error) {
 	ins, err := resolveInputs(e, stage, chain.Head(), in, results)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	ctrs := make([]*int64, len(chain.Ops))
 	for i, op := range chain.Ops {
 		bc, err := broadcastCtx(op, in)
 		if err != nil {
-			return 0, err
+			return nil, 0, err
 		}
 		if op.UDF.Open != nil {
 			op.UDF.Open(bc)
@@ -193,10 +219,11 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 		counters[op] = &counter
 		ctrs[i] = &counter
 	}
-	kernel, err := CompileChain(chain.Ops)
+	rowKernel, err := CompileChain(chain.Ops)
 	if err != nil {
-		return 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
+		return nil, 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
 	}
+	kernel := CompileVector(chain.Ops, rowKernel)
 	// Exploratory-mode sniffers observe inside the kernel, at each step's
 	// emission points. The unfused engines call sniffers from one goroutine
 	// at a time; a per-chain mutex preserves that contract when the kernel
@@ -217,10 +244,10 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 	opStart := time.Now()
 	d, err := ce.ApplyChain(chain, kernel, ins[0], ctrs)
 	if err != nil {
-		return 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
+		return nil, 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
 	}
 	results[chain.Tail()] = d
-	return time.Since(opStart), nil
+	return kernel, time.Since(opStart), nil
 }
 
 // attributeChainTime splits a fused chain's elapsed wall time over its

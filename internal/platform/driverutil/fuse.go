@@ -44,9 +44,12 @@ func (c *FusedChain) String() string {
 // ChainEngine is optionally implemented by engines that can execute a fused
 // chain natively. in is the head operator's (single) resolved input;
 // counters are per-chain-op output-cardinality counters aligned with
-// chain.Ops. The returned Data stands for the tail operator's output.
+// chain.Ops. The returned Data stands for the tail operator's output. The
+// kernel is a VectorKernel: engines just call Run, which takes the columnar
+// path when the chain's leading steps vectorized and the partition allows
+// it, and the row path otherwise.
 type ChainEngine interface {
-	ApplyChain(chain *FusedChain, kernel *FusedKernel, in Data, counters []*int64) (Data, error)
+	ApplyChain(chain *FusedChain, kernel *VectorKernel, in Data, counters []*int64) (Data, error)
 }
 
 // fusible reports whether op can participate in a fused chain of this

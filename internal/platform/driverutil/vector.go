@@ -1,0 +1,286 @@
+package driverutil
+
+import (
+	"sync/atomic"
+
+	"rheem/internal/core"
+)
+
+// Vectorized fused kernels. CompileVector layers a columnar execution plan
+// over a compiled row kernel: the longest prefix of the chain whose steps
+// are declarative — Params.Where filters, UDF.MapExpr numeric maps, and
+// projections — compiles to per-column tight loops driven by a selection
+// vector, and everything after the first opaque UDF runs through the row
+// kernel's tail. At run time each partition is converted to a
+// core.ColumnBatch; partitions that cannot batch (mixed quantum shapes) or
+// whose columns don't satisfy a step's type/validity requirements fall back
+// to the row kernel wholesale, so vectorized execution is always
+// observationally identical to row execution — same outputs, same
+// per-operator cardinalities, same panics.
+
+// vecStep is one vectorizable chain operator.
+type vecStep struct {
+	kind core.Kind
+	pred *core.Predicate // filter
+	expr *core.MapExpr   // map
+	cols []int           // project (nil = identity)
+	op   *core.Operator
+}
+
+// vecStats counts what the vectorized path did at run time. Tails share
+// their parent's stats so relstore's pushdown split still accumulates into
+// the kernel runChain observes.
+type vecStats struct {
+	batches   int64
+	rows      int64
+	fallbacks int64
+}
+
+// VectorKernel wraps a row FusedKernel with a vectorized prefix. It is the
+// unit engines execute: Run prefers the column path and degrades to the row
+// kernel whenever anything about the partition makes columns unsafe.
+type VectorKernel struct {
+	row   *FusedKernel
+	vec   []vecStep
+	stats *vecStats
+}
+
+// CompileVector compiles the vectorizable prefix of a fused chain over the
+// already-compiled row kernel. It always succeeds; a chain with no
+// recognizable declarative steps simply has an empty prefix and runs on the
+// row kernel unchanged.
+func CompileVector(ops []*core.Operator, row *FusedKernel) *VectorKernel {
+	k := &VectorKernel{row: row, stats: &vecStats{}}
+	for _, op := range ops {
+		st, ok := vecStepOf(op)
+		if !ok {
+			break
+		}
+		k.vec = append(k.vec, st)
+	}
+	return k
+}
+
+// vecStepOf recognizes the declarative operator forms the column loops can
+// execute. A filter carrying an opaque UDF.Pred is not vectorizable even if
+// it also has a Where: the row path prefers the UDF (see PredOf), and the
+// two paths must agree.
+func vecStepOf(op *core.Operator) (vecStep, bool) {
+	st := vecStep{kind: op.Kind, op: op}
+	switch op.Kind {
+	case core.KindFilter:
+		if op.UDF.Pred != nil || op.Params.Where == nil {
+			return st, false
+		}
+		st.pred = op.Params.Where
+	case core.KindMap:
+		if op.UDF.MapExpr == nil {
+			return st, false
+		}
+		st.expr = op.UDF.MapExpr
+	case core.KindProject:
+		st.cols = op.Params.Columns
+	default:
+		return st, false
+	}
+	return st, true
+}
+
+// VecLen returns the number of chain steps compiled to column loops.
+func (k *VectorKernel) VecLen() int { return len(k.vec) }
+
+// Len returns the number of steps (chain operators) in the kernel.
+func (k *VectorKernel) Len() int { return k.row.Len() }
+
+// SetSniff attaches an observer to step i (see FusedKernel.SetSniff). A
+// sniffer on a vectorized step disables the column path for the whole
+// kernel — the sniffer contract is one call per emitted quantum, which only
+// the row kernel provides.
+func (k *VectorKernel) SetSniff(i int, fn func(any)) { k.row.SetSniff(i, fn) }
+
+// Sniffed reports whether any step carries a sniffer.
+func (k *VectorKernel) Sniffed() bool { return k.row.Sniffed() }
+
+// StepSniff returns step i's observer (nil when unset).
+func (k *VectorKernel) StepSniff(i int) func(any) { return k.row.StepSniff(i) }
+
+// Tail returns a kernel for steps[from:], preserving sniffs and sharing
+// run-time stats. relstore uses it after pushing the head filter into an
+// index scan.
+func (k *VectorKernel) Tail(from int) *VectorKernel {
+	t := &VectorKernel{row: k.row.Tail(from), stats: k.stats}
+	if from <= len(k.vec) {
+		t.vec = k.vec[from:]
+	}
+	return t
+}
+
+// Stats returns the kernel's accumulated vectorized-execution counters.
+func (k *VectorKernel) Stats() (batches, rows, fallbacks int64) {
+	return atomic.LoadInt64(&k.stats.batches),
+		atomic.LoadInt64(&k.stats.rows),
+		atomic.LoadInt64(&k.stats.fallbacks)
+}
+
+// prefixSniffed reports whether any vectorized step carries a sniffer.
+func (k *VectorKernel) prefixSniffed() bool {
+	for i := range k.vec {
+		if k.row.StepSniff(i) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// plan resolves each vectorized step against a concrete batch: the physical
+// column every filter/map reads (projections remap indices), the final
+// output projection, and whether every step's type/validity requirements
+// hold. ok=false sends the whole partition down the row kernel, which
+// reproduces the row path's exact behaviour — including its panics — for
+// data the column loops can't honestly execute.
+func (k *VectorKernel) plan(b *core.ColumnBatch) (phys []int, final []int, ok bool) {
+	phys = make([]int, len(k.vec))
+	cur := []int(nil) // nil = identity over the batch's columns
+	width := b.Width()
+	mapped := func(c int) (int, bool) {
+		if c < 0 || c >= width {
+			return 0, false
+		}
+		if cur == nil {
+			return c, true
+		}
+		return cur[c], true
+	}
+	for i := range k.vec {
+		st := &k.vec[i]
+		phys[i] = -1
+		switch st.kind {
+		case core.KindFilter:
+			c := st.pred.Col
+			if c == core.WholeQuantum {
+				if !b.Scalar() {
+					return nil, nil, false
+				}
+				phys[i] = 0
+			} else {
+				if b.Scalar() {
+					return nil, nil, false
+				}
+				p, ok := mapped(c)
+				if !ok {
+					return nil, nil, false
+				}
+				phys[i] = p
+			}
+			if !b.VecFilterOK(phys[i], st.pred) {
+				return nil, nil, false
+			}
+		case core.KindMap:
+			c := st.expr.Col
+			if c == core.WholeQuantum {
+				if !b.Scalar() {
+					return nil, nil, false
+				}
+				phys[i] = 0
+			} else {
+				if b.Scalar() {
+					return nil, nil, false
+				}
+				p, ok := mapped(c)
+				if !ok {
+					return nil, nil, false
+				}
+				phys[i] = p
+			}
+			if !b.VecMapOK(phys[i], st.expr) {
+				return nil, nil, false
+			}
+			// A projection can alias one physical column under several
+			// output columns; an in-place map would then rewrite all of
+			// them, where the row path rewrites exactly one field.
+			if cur != nil {
+				refs := 0
+				for _, p := range cur {
+					if p == phys[i] {
+						refs++
+					}
+				}
+				if refs > 1 {
+					return nil, nil, false
+				}
+			}
+		case core.KindProject:
+			if st.cols == nil {
+				continue // identity
+			}
+			if b.Scalar() {
+				return nil, nil, false
+			}
+			next := make([]int, len(st.cols))
+			for j, c := range st.cols {
+				p, ok := mapped(c)
+				if !ok {
+					return nil, nil, false
+				}
+				next[j] = p
+			}
+			cur = next
+			width = len(cur)
+		}
+	}
+	return phys, cur, true
+}
+
+// Run executes the kernel over one partition. The contract is identical to
+// FusedKernel.Run: counts[i] accumulates the i-th step's emitted quanta and
+// buf, when non-nil, is the reused output buffer. The column path engages
+// only when it can reproduce row execution exactly; every other partition
+// degrades to the row kernel.
+func (k *VectorKernel) Run(part []any, counts []int64, buf []any) []any {
+	if len(k.vec) == 0 || len(part) == 0 || core.ColumnarDisabled() || k.prefixSniffed() {
+		return k.row.Run(part, counts, buf)
+	}
+	b, ok := core.BatchFromRows(part)
+	if !ok {
+		atomic.AddInt64(&k.stats.fallbacks, 1)
+		return k.row.Run(part, counts, buf)
+	}
+	phys, final, ok := k.plan(b)
+	if !ok {
+		atomic.AddInt64(&k.stats.fallbacks, 1)
+		return k.row.Run(part, counts, buf)
+	}
+	atomic.AddInt64(&k.stats.batches, 1)
+	atomic.AddInt64(&k.stats.rows, int64(len(part)))
+
+	var sel []int // nil = every row, in order
+	live := b.Len()
+	for i := range k.vec {
+		st := &k.vec[i]
+		switch st.kind {
+		case core.KindFilter:
+			out := make([]int, 0, live)
+			sel = b.FilterSel(phys[i], st.pred, sel, out)
+			live = len(sel)
+		case core.KindMap:
+			b.ApplyNumExpr(phys[i], st.expr, sel)
+		}
+		if counts != nil {
+			counts[i] += int64(live)
+		}
+	}
+
+	if len(k.vec) == k.row.Len() {
+		out := buf
+		if out == nil {
+			out = make([]any, 0, live)
+		}
+		return b.EmitRows(out, sel, final)
+	}
+	mid := b.EmitRows(make([]any, 0, live), sel, final)
+	tailCounts := counts
+	if counts != nil {
+		tailCounts = counts[len(k.vec):]
+	}
+	return k.row.Tail(len(k.vec)).Run(mid, tailCounts, buf)
+}

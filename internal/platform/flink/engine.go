@@ -309,15 +309,20 @@ var countMu sync.Mutex
 // fuseBatch is the vector size fused chains batch quanta in: the whole
 // chain runs over one vector per kernel invocation, amortizing channel
 // sends and reusing one output buffer instead of paying one send (and one
-// goroutine hop) per quantum per operator.
-const fuseBatch = 256
+// goroutine hop) per quantum per operator. Chains whose leading steps
+// compiled to column loops use the larger columnarBatch so the per-batch
+// row→column conversion amortizes over more rows.
+const (
+	fuseBatch     = 256
+	columnarBatch = 4096
+)
 
 // ApplyChain implements driverutil.ChainEngine: the fused chain runs as a
 // single goroutine pipeline segment per instance. Quanta are batched into
 // vectors of fuseBatch and pushed through the compiled kernel in one pass;
 // per-step counts transfer to the shared counters when the segment drains,
 // bypassing the per-quantum countMu of the unfused path entirely.
-func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.VectorKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
 	f, ok := in.(*flow)
 	if !ok {
 		return nil, fmt.Errorf("flink: fused chain input is %T, not a flow", in)
@@ -352,7 +357,11 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Fus
 							}
 						}
 					}()
-					vec := make([]any, 0, fuseBatch)
+					batch := fuseBatch
+					if kernel.VecLen() > 0 {
+						batch = columnarBatch
+					}
+					vec := make([]any, 0, batch)
 					var buf []any
 					flush := func() {
 						buf = kernel.Run(vec, counts, buf[:0])
@@ -363,7 +372,7 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Fus
 					}
 					for q := range in {
 						vec = append(vec, q)
-						if len(vec) == fuseBatch {
+						if len(vec) == batch {
 							flush()
 						}
 					}

@@ -382,7 +382,7 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 // declarative filter over a base table keeps the indexed-scan push-down of
 // the unfused path (the index narrows the scan before any row reaches the
 // kernel); the remaining steps fuse over the scan result in one pass.
-func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.VectorKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
 	r, ok := in.(*rel)
 	if !ok {
 		return nil, fmt.Errorf("relstore: fused chain input is %T", in)

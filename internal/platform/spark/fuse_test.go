@@ -143,6 +143,84 @@ func TestFusedChainUDFPanicFailsJob(t *testing.T) {
 	}
 }
 
+// declChainOps builds src -> 8 declarative narrow ops (6 numeric-expression
+// maps, 2 predicate filters that each keep ~90%) over n int64 quanta — the
+// same shape as narrowChainOps but in the forms the vectorized kernel
+// compiles to column loops.
+func declChainOps(n int) []*core.Operator {
+	data := make([]any, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	p := core.NewPlan("decl-chain")
+	ops := []*core.Operator{
+		{Kind: core.KindCollectionSource, Label: "src", Params: core.Params{Collection: data}},
+	}
+	mkMap := func(label string, op core.NumOp, operand int64) *core.Operator {
+		e := core.MapExpr{Col: core.WholeQuantum, Op: op, Operand: operand}
+		return &core.Operator{Kind: core.KindMap, Label: label,
+			UDF: core.UDFs{Map: e.Fn(), MapExpr: &e}}
+	}
+	mkFilter := func(label string, op core.PredOp, v int64) *core.Operator {
+		return &core.Operator{Kind: core.KindFilter, Label: label,
+			Params: core.Params{Where: &core.Predicate{Col: core.WholeQuantum, Op: op, Value: v}}}
+	}
+	ops = append(ops,
+		mkMap("m-add1", core.NumAdd, 1),
+		mkMap("m-add2", core.NumAdd, 2),
+		mkFilter("f-gt", core.PredGt, int64(n)/10), // keeps ~90%
+		mkMap("m-mul2", core.NumMul, 2),
+		mkMap("m-sub3", core.NumSub, 3),
+		mkFilter("f-le", core.PredLe, 2*int64(n)-int64(n)/5), // keeps ~90%
+		mkMap("m-add5", core.NumAdd, 5),
+		mkMap("m-sub1", core.NumSub, 1),
+	)
+	for _, op := range ops {
+		p.Add(op)
+	}
+	p.Chain(ops...)
+	return ops
+}
+
+func TestColumnarChainMatchesRowChain(t *testing.T) {
+	d := NewWithConfig(nil, fastConf())
+	ops := declChainOps(50_000)
+
+	stage, in := chainStage(d, ops)
+	outs, stats, err := d.Execute(stage, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Vectorized) != 1 || stats.Vectorized[0].VecSteps != 8 {
+		t.Fatalf("expected one fully-vectorized chain, got %+v", stats.Vectorized)
+	}
+	if stats.Vectorized[0].Batches == 0 || stats.Vectorized[0].Rows == 0 {
+		t.Fatalf("column path never engaged: %+v", stats.Vectorized[0])
+	}
+	columnar := outs[ops[len(ops)-1]].Payload.(*RDD).Collect()
+
+	prev := core.SetColumnarDisabled(true)
+	stage2, in2 := chainStage(d, ops)
+	outs2, stats2, err := d.Execute(stage2, in2)
+	core.SetColumnarDisabled(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats2.Vectorized) != 0 {
+		t.Fatalf("columnar ran while disabled: %+v", stats2.Vectorized)
+	}
+	row := outs2[ops[len(ops)-1]].Payload.(*RDD).Collect()
+
+	if !reflect.DeepEqual(columnar, row) {
+		t.Fatalf("columnar output (%d rows) differs from row (%d rows)", len(columnar), len(row))
+	}
+	for _, op := range ops {
+		if stats.OutCards[op] != stats2.OutCards[op] {
+			t.Fatalf("op %s cardinality: columnar %d, row %d", op, stats.OutCards[op], stats2.OutCards[op])
+		}
+	}
+}
+
 // BenchmarkSparkNarrowChain measures an 8-op narrow chain over 1M quanta,
 // fused (one single-pass kernel per partition) vs. unfused (one
 // materialization per operator).
@@ -161,6 +239,37 @@ func BenchmarkSparkNarrowChain(b *testing.B) {
 				ShuffleLatencyMs: NoOverheadMs,
 			})
 			ops := narrowChainOps(1_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stage, in := chainStage(d, ops)
+				if _, _, err := d.Execute(stage, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColumnarNarrowChain measures an 8-op declarative chain over 1M
+// quanta, vectorized (column loops with a selection vector) vs. the fused
+// row kernel (RHEEM_NO_COLUMNAR path). Both modes fuse; the delta isolates
+// the columnar data plane.
+func BenchmarkColumnarNarrowChain(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"vectorized", false}, {"row-fused", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := core.SetColumnarDisabled(mode.off)
+			defer core.SetColumnarDisabled(prev)
+			d := NewWithConfig(nil, Config{
+				Parallelism:      8,
+				ContextStartupMs: NoOverheadMs,
+				JobStartupMs:     NoOverheadMs,
+				ShuffleLatencyMs: NoOverheadMs,
+			})
+			ops := declChainOps(1_000_000)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

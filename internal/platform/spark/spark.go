@@ -330,7 +330,7 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 // as one pool dispatch — one mapPartitions over the chain instead of one
 // per operator — so a stage of k narrow ops pays one scheduling round and
 // zero intermediate RDD materializations.
-func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.VectorKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
 	r, ok := in.(*RDD)
 	if !ok {
 		return nil, fmt.Errorf("spark: fused chain input is %T, not an RDD", in)

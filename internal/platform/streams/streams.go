@@ -273,7 +273,7 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 // fused in spirit (pull-based chaining), but the compiled kernel replaces k
 // FuncIterator virtual calls per quantum with one closure pass and counts
 // without the per-quantum observation wrapper.
-func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.FusedKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
+func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.VectorKernel, in driverutil.Data, counters []*int64) (driverutil.Data, error) {
 	p, ok := in.(*pipe)
 	if !ok {
 		return nil, fmt.Errorf("streams: fused chain input is %T, not a pipeline", in)

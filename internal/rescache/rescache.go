@@ -548,7 +548,10 @@ func EstimateBytes(quanta []any) (int64, bool) {
 	}
 	// Spread the sample across the slice so a heterogeneous tail is seen.
 	var total int64
-	var buf []byte
+	bufp := core.GetEncodeBuf()
+	defer core.PutEncodeBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
 	step := n / sample
 	if step < 1 {
 		step = 1

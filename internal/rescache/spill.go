@@ -119,7 +119,10 @@ func (c *Cache) writeSpillFile(e *entry) (int64, error) {
 		fw.Abort()
 		return 0, err
 	}
-	var buf []byte
+	bufp := core.GetEncodeBuf()
+	defer core.PutEncodeBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
 	written := int64(len(meta))
 	for _, q := range e.quanta {
 		if buf, err = core.AppendQuantumBinary(buf[:0], q); err != nil {

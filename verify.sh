@@ -35,6 +35,14 @@ go test -run=NONE -bench=BenchmarkEncodeQuantum -benchtime=1x ./internal/core
 go test -run=NONE -bench=NarrowChain -benchtime=1x ./internal/platform/spark ./internal/platform/flink
 RHEEM_NO_FUSE=1 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
+# Columnar smoke: the columnar-vs-row differential crosschecks (random
+# declarative plans, every engine pinned, relstore pushdown) run twice —
+# default, and with the columnar data plane force-disabled via the
+# RHEEM_NO_COLUMNAR=1 kill switch — proving vectorized column kernels and
+# the fused row path produce identical sink output. The ColumnarNarrowChain
+# benchmark is covered by the NarrowChain smoke above.
+RHEEM_NO_COLUMNAR=1 go test -count=1 -run='TestCrossCheckColumnar' .
+go test -count=1 -run='TestCrossCheckColumnar' .
 # Metrics lint: a fully-wired server (cache, cluster node, runtime sampler)
 # runs real jobs, then every registered rheem_* metric must carry HELP text
 # — an undocumented metric fails the gate.
