@@ -186,6 +186,148 @@ func TestCrossCheckColumnarEveryEngine(t *testing.T) {
 	}
 }
 
+// randomAggPlan builds a random declarative prefix chain ending in a
+// declarative ReduceByExpr, so the vectorized aggregation kernel (and its
+// two-phase partial exchange on the parallel engines) is exercised against
+// the row-path AggState fold over the same rows.
+func randomAggPlan(ctx *Context, rng *rand.Rand, id int) (*core.Plan, *core.Operator) {
+	b := ctx.NewPlan(fmt.Sprintf("columnar-agg-crosscheck-%d", id))
+	n := 300 + rng.Intn(1500)
+	data := make([]any, n)
+	for i := range data {
+		data[i] = core.Record{
+			int64(rng.Intn(40) - 20),
+			float64(rng.Intn(20)) / 2,
+			fmt.Sprintf("g%d", rng.Intn(7)),
+			int64(rng.Intn(6)),
+		}
+	}
+	d := b.LoadCollection("src", data)
+	steps := rng.Intn(4)
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(4) {
+		case 0:
+			d = d.FilterWhere("fw", core.Predicate{
+				Col: 0, Op: core.PredOp(rng.Intn(5)), Value: int64(rng.Intn(10) - 5)})
+		case 1:
+			d = d.MapExpr("mx", core.MapExpr{
+				Col: rng.Intn(2), Op: core.NumOp(rng.Intn(3)),
+				Operand: []any{int64(rng.Intn(4) + 1), 0.5}[rng.Intn(2)]})
+		case 2:
+			d = d.FilterWhere("fs", core.Predicate{
+				Col: 2, Op: []core.PredOp{core.PredEq, core.PredPrefix}[rng.Intn(2)],
+				Value: fmt.Sprintf("g%d", rng.Intn(7))})
+		default:
+			// Opaque UDF mid-chain: the agg must still absorb via the row tail.
+			d = d.Map("opaque", func(q any) any { return q })
+		}
+	}
+	groups := [][]int{{2}, {3}, {2, 3}, {3, 2}}[rng.Intn(4)]
+	var aggs []core.AggSpec
+	for _, a := range []core.AggSpec{
+		{Op: core.AggSum, Col: 0},
+		{Op: core.AggCount, Col: core.WholeQuantum},
+		{Op: core.AggMin, Col: 0},
+		{Op: core.AggMax, Col: 1},
+		{Op: core.AggAvg, Col: 1},
+	} {
+		if rng.Intn(2) == 0 {
+			aggs = append(aggs, a)
+		}
+	}
+	if len(aggs) == 0 {
+		aggs = []core.AggSpec{{Op: core.AggSum, Col: 0}}
+	}
+	d = d.ReduceByExpr("agg", core.ReduceExpr{GroupCols: groups, Aggs: aggs})
+	sink := d.CollectSink()
+	return b.Plan(), sink
+}
+
+func TestCrossCheckColumnarAggAgainstRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3307))
+	for i := 0; i < 15; i++ {
+		seed := rng.Int63()
+		runColumnarVsRow(t, func(ctx *Context) (*core.Plan, *core.Operator) {
+			return randomAggPlan(ctx, rand.New(rand.NewSource(seed)), i)
+		}, fmt.Sprintf("agg plan %d", i))
+	}
+}
+
+// aggPipeline is a fixed declarative chain ending in a grouped aggregation,
+// pinnable to one engine: filter → numeric map → reduce-by-expr with every
+// aggregate kind over a string group column (dictionary path included).
+func aggPipeline(ctx *Context, platform string) (*core.Plan, *core.Operator) {
+	b := ctx.NewPlan("decl-agg-" + platform)
+	data := make([]any, 6000)
+	for i := range data {
+		data[i] = core.Record{int64(i % 37), float64(i%11) / 2, fmt.Sprintf("g%d", i%9)}
+	}
+	d := b.LoadCollection("src", data).
+		FilterWhere("keep", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(3)}).
+		MapExpr("scale", core.MapExpr{Col: 1, Op: core.NumMul, Operand: int64(2)}).
+		ReduceByExpr("agg", core.ReduceExpr{
+			GroupCols: []int{2},
+			Aggs: []core.AggSpec{
+				{Op: core.AggSum, Col: 0},
+				{Op: core.AggCount, Col: core.WholeQuantum},
+				{Op: core.AggMin, Col: 0},
+				{Op: core.AggMax, Col: 1},
+				{Op: core.AggAvg, Col: 1},
+			},
+		})
+	sink := d.CollectSink()
+	p := b.Plan()
+	if platform != "" {
+		for _, op := range p.Operators() {
+			op.TargetPlatform = platform
+		}
+	}
+	return p, sink
+}
+
+func TestCrossCheckColumnarAggEveryEngine(t *testing.T) {
+	for _, platform := range []string{"", "streams", "spark", "flink"} {
+		name := platform
+		if name == "" {
+			name = "optimizer-choice"
+		}
+		t.Run(name, func(t *testing.T) {
+			runColumnarVsRow(t, func(ctx *Context) (*core.Plan, *core.Operator) {
+				return aggPipeline(ctx, platform)
+			}, "agg-"+name)
+		})
+	}
+}
+
+func TestCrossCheckColumnarAggRelStore(t *testing.T) {
+	build := func(ctx *Context) (*core.Plan, *core.Operator) {
+		store := ctx.RelStore("pg")
+		tab, err := store.CreateTable("events", []relstore.Column{
+			{Name: "id", Type: relstore.TInt},
+			{Name: "score", Type: relstore.TFloat},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			tab.Insert(core.Record{int64(i % 53), float64(i%17) / 2})
+		}
+		d := ctx.NewPlan("rel-agg").
+			ReadTable("pg", "events", nil, &core.Predicate{Col: 0, Op: core.PredGe, Value: int64(5)}).
+			FilterWhere("hi", core.Predicate{Col: 1, Op: core.PredGt, Value: 0.5}).
+			ReduceByExpr("agg", core.ReduceExpr{
+				GroupCols: []int{0},
+				Aggs: []core.AggSpec{
+					{Op: core.AggSum, Col: 1},
+					{Op: core.AggCount, Col: core.WholeQuantum},
+				},
+			})
+		sink := d.CollectSink()
+		return d.b.Plan(), sink
+	}
+	runColumnarVsRow(t, build, "relstore-agg")
+}
+
 func TestCrossCheckColumnarRelStore(t *testing.T) {
 	build := func(ctx *Context) (*core.Plan, *core.Operator) {
 		store := ctx.RelStore("pg")

@@ -204,6 +204,19 @@ func (d *DataQuanta) ReduceBy(label string, key func(any) any, reduce func(a, b 
 	return n
 }
 
+// ReduceByExpr folds records per group with a declarative aggregation
+// expression: group by the expression's columns, apply its sum / count /
+// min / max / avg aggregates. Engines recognize the transparent form and run
+// it as two-phase partial aggregation (and the vectorized kernels absorb
+// whole column batches); the operator also carries the expression's key
+// extractor so key-aware machinery treats it like any reduce-by.
+func (d *DataQuanta) ReduceByExpr(label string, expr core.ReduceExpr) *DataQuanta {
+	n := d.unary(core.KindReduceBy, label)
+	n.op.UDF.ReduceExpr = &expr
+	n.op.UDF.Key = expr.KeyFn()
+	return n
+}
+
 // GroupBy materializes Groups per key.
 func (d *DataQuanta) GroupBy(label string, key func(any) any) *DataQuanta {
 	n := d.unary(core.KindGroupBy, label)

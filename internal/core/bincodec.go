@@ -44,6 +44,7 @@ const (
 	binGroup  = 0x0b // encoded key + uvarint count + encoded values
 	binJSON   = 0x0c // uvarint length + plain JSON (foreign types, best effort)
 	binBatch  = 0x0d // column-wise batch: flags + nrows + ncols + columns
+	binDict   = 0x0e // dictionary string column (inside binBatch): dict + codes
 )
 
 // BinaryQuantaMagic heads every binary quanta stream. The JSON codec always
@@ -310,7 +311,11 @@ func AppendColumnBatchBinary(buf []byte, b *ColumnBatch) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(b.n))
 	buf = binary.AppendUvarint(buf, uint64(len(b.Cols)))
 	for _, col := range b.Cols {
-		buf = append(buf, byte(col.Type))
+		if col.DictEncoded() {
+			buf = append(buf, binDict)
+		} else {
+			buf = append(buf, byte(col.Type))
+		}
 		if col.Valid != nil {
 			buf = append(buf, 1)
 			for _, w := range col.Valid.Words() {
@@ -318,6 +323,20 @@ func AppendColumnBatchBinary(buf []byte, b *ColumnBatch) ([]byte, error) {
 			}
 		} else {
 			buf = append(buf, 0)
+		}
+		if col.DictEncoded() {
+			// Dictionary frame: the distinct values once, then one uvarint
+			// code per row — low-cardinality string columns ship a fraction
+			// of their plain size.
+			buf = binary.AppendUvarint(buf, uint64(len(col.Dict)))
+			for _, s := range col.Dict {
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+			for _, code := range col.Codes {
+				buf = binary.AppendUvarint(buf, uint64(code))
+			}
+			continue
 		}
 		switch col.Type {
 		case ColInt64:
@@ -404,6 +423,36 @@ func decodeColumnBatch(data []byte) (any, []byte, error) {
 			return nil, nil, fmt.Errorf("%w: bad validity flag", ErrCorruptQuantum)
 		}
 		var err error
+		if byte(col.Type) == binDict {
+			// Dictionary string column: distinct values, then one code per
+			// row, each checked against the dictionary bound.
+			col.Type = ColString
+			ds, w := binary.Uvarint(data)
+			if w <= 0 || ds > maxBatchRows {
+				return nil, nil, fmt.Errorf("%w: batch dictionary size", ErrCorruptQuantum)
+			}
+			data = data[w:]
+			col.Dict = make([]string, ds)
+			for i := range col.Dict {
+				sn, rest, err := decodeLen(data, 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				col.Dict[i] = string(rest[:sn])
+				data = rest[sn:]
+			}
+			col.Codes = make([]uint32, n)
+			for i := range col.Codes {
+				code, w := binary.Uvarint(data)
+				if w <= 0 || code >= ds {
+					return nil, nil, fmt.Errorf("%w: batch dictionary code", ErrCorruptQuantum)
+				}
+				col.Codes[i] = uint32(code)
+				data = data[w:]
+			}
+			b.Cols[c] = col
+			continue
+		}
 		switch col.Type {
 		case ColInt64:
 			col.Ints = make([]int64, n)
@@ -626,12 +675,34 @@ func ReadQuantaStream(r io.Reader) ([]any, error) {
 }
 
 func readBinaryFrames(br *bufio.Reader) ([]any, error) {
+	segs, err := readBinarySegments(br)
+	if err != nil {
+		return nil, err
+	}
 	var out []any
+	for _, s := range segs {
+		out = s.AppendRows(out)
+	}
+	return out, nil
+}
+
+// readBinarySegments decodes the stream's frames, keeping batch frames
+// column-major and coalescing consecutive row frames into one segment.
+func readBinarySegments(br *bufio.Reader) ([]Segment, error) {
+	var segs []Segment
+	var rows []any
+	flushRows := func() {
+		if len(rows) > 0 {
+			segs = append(segs, Segment{Rows: rows})
+			rows = nil
+		}
+	}
 	var frame []byte
 	for {
 		n, err := binary.ReadUvarint(br)
 		if errors.Is(err, io.EOF) {
-			return out, nil // clean end between frames
+			flushRows()
+			return segs, nil // clean end between frames
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: frame length: %v", ErrCorruptQuantum, err)
@@ -652,9 +723,40 @@ func readBinaryFrames(br *bufio.Reader) ([]any, error) {
 			return nil, err
 		}
 		if cb, ok := q.(*ColumnBatch); ok {
-			out = cb.AppendRows(out)
+			flushRows()
+			segs = append(segs, Segment{Batch: cb})
 			continue
 		}
-		out = append(out, q)
+		rows = append(rows, q)
 	}
 }
+
+// ReadQuantaStreamSegments decodes a quanta stream like ReadQuantaStream but
+// keeps column-batch frames as native segments instead of expanding them to
+// rows, so batch-aware consumers move columns end to end. Legacy JSON-lines
+// streams come back as one row segment.
+func ReadQuantaStreamSegments(r io.Reader) ([]Segment, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(BinaryQuantaMagic))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("core: read quanta stream: %w", err)
+	}
+	if string(head) == BinaryQuantaMagic {
+		br.Discard(len(BinaryQuantaMagic))
+		return readBinarySegments(br)
+	}
+	rows, err := ReadQuantaStream(&peekedReader{br: br})
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return []Segment{{Rows: rows}}, nil
+}
+
+// peekedReader re-presents a buffered reader as a plain reader so the legacy
+// path of ReadQuantaStream can re-detect the format from the same bytes.
+type peekedReader struct{ br *bufio.Reader }
+
+func (p *peekedReader) Read(b []byte) (int, error) { return p.br.Read(b) }

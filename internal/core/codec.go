@@ -232,6 +232,17 @@ func ReadQuantaFile(path string) ([]any, error) {
 	return ReadQuantaStream(f)
 }
 
+// ReadQuantaFileSegments decodes a quanta file like ReadQuantaFile but keeps
+// column-batch frames as native segments (see ReadQuantaStreamSegments).
+func ReadQuantaFileSegments(path string) ([]Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read quanta file: %w", err)
+	}
+	defer f.Close()
+	return ReadQuantaStreamSegments(f)
+}
+
 // ReadTextFile reads a plain text file into one string quantum per line.
 func ReadTextFile(path string) ([]any, error) {
 	f, err := os.Open(path)

@@ -15,3 +15,14 @@ var codecBytesMoved atomic.Int64
 func CodecBytesMoved() int64 { return codecBytesMoved.Load() }
 
 func addCodecBytes(n int) { codecBytesMoved.Add(int64(n)) }
+
+// dictColumnsBuilt counts string columns that engaged dictionary encoding
+// (at batch build or wire decode), on the same process-wide pattern as the
+// codec byte counter.
+var dictColumnsBuilt atomic.Int64
+
+// DictColumnsBuilt returns the total dictionary-encoded string columns this
+// process has materialized since start.
+func DictColumnsBuilt() int64 { return dictColumnsBuilt.Load() }
+
+func addDictColumn() { dictColumnsBuilt.Add(1) }

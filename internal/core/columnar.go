@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -64,6 +65,12 @@ func (t ColType) String() string {
 // slices is populated, selected by Type. Valid, when non-nil, flags the rows
 // whose value is present (a cleared bit reads back as nil); ColAny columns
 // keep nils inline and never carry a bitmap.
+//
+// A ColString column is either plain (Strs populated) or dictionary-encoded
+// (Dict holds the distinct values in first-occurrence order, Codes one index
+// per row, Strs nil). Dictionary columns evaluate string predicates once per
+// distinct value instead of once per row, group by integer code, and ship
+// over the wire as a single dictionary frame.
 type Column struct {
 	Type   ColType
 	Ints   []int64
@@ -72,6 +79,22 @@ type Column struct {
 	Bools  []bool
 	Anys   []any
 	Valid  *Bitset
+
+	Dict  []string
+	Codes []uint32
+}
+
+// DictEncoded reports whether the column is a dictionary-encoded string
+// column.
+func (c *Column) DictEncoded() bool { return c.Type == ColString && c.Dict != nil }
+
+// Str returns row i's string value of a plain or dictionary-encoded string
+// column.
+func (c *Column) Str(i int) string {
+	if c.Dict != nil {
+		return c.Dict[c.Codes[i]]
+	}
+	return c.Strs[i]
 }
 
 // ColumnBatch is a column-major batch of data quanta: either Record quanta
@@ -105,7 +128,15 @@ func (b *ColumnBatch) Scalar() bool { return b.scalar }
 // are not all of one of the four typed kinds take the ColAny escape, and
 // nils alongside typed values become validity-bitmap holes, so the
 // row→column→row round trip reproduces the boxed values exactly.
-func BatchFromRows(rows []any) (*ColumnBatch, bool) {
+func BatchFromRows(rows []any) (*ColumnBatch, bool) { return BatchFromRowsNeeding(rows, nil) }
+
+// BatchFromRowsNeeding is BatchFromRows restricted to the columns a compiled
+// vector plan actually reads: with a non-nil need list, only the listed
+// column indices get typed buffers (out-of-range entries are ignored; the
+// plan's own bounds checks fall back for them) and every other column slot
+// stays nil. Unbuilt columns are never dirty, so emission re-boxes nothing —
+// a filter chain that drops a wide string column no longer pays to build it.
+func BatchFromRowsNeeding(rows []any, need []int) (*ColumnBatch, bool) {
 	if len(rows) == 0 {
 		return nil, false
 	}
@@ -118,8 +149,16 @@ func BatchFromRows(rows []any) (*ColumnBatch, bool) {
 			}
 		}
 		b := &ColumnBatch{n: len(rows), rows: rows, dirty: make([]bool, w), Cols: make([]*Column, w)}
-		for c := range b.Cols {
-			b.Cols[c] = buildColumn(rows, c)
+		if need == nil {
+			for c := range b.Cols {
+				b.Cols[c] = buildColumn(rows, c)
+			}
+			return b, true
+		}
+		for _, c := range need {
+			if c >= 0 && c < w && b.Cols[c] == nil {
+				b.Cols[c] = buildColumn(rows, c)
+			}
 		}
 		return b, true
 	}
@@ -144,93 +183,326 @@ func colValue(q any, c int) any {
 	return q.(Record)[c]
 }
 
-func buildColumn(rows []any, c int) *Column {
-	// First pass: a column is typed only when every present value has the
-	// same dynamic type out of the four column kinds. Anything else — mixed
-	// numerics, Go ints, foreign types, all-nil columns — takes the ColAny
-	// escape so emission reproduces the boxed values bit-for-bit.
-	t := ColAny
-	sawVal := false
-	nulls := 0
-	for _, q := range rows {
-		v := colValue(q, c)
-		if v == nil {
-			nulls++
+// Column-buffer pools. Kernel-private batches — built by the vectorized
+// kernels from one partition's rows and dropped right after emission or
+// aggregation absorb — dominate allocation on the hot path, so their typed
+// buffers recycle through these pools via (*ColumnBatch).Recycle. A pooled
+// buffer is cleared on reuse, restoring the zero-value-in-holes invariant
+// that make() used to provide.
+var (
+	intBufPool   sync.Pool
+	floatBufPool sync.Pool
+	strBufPool   sync.Pool
+	boolBufPool  sync.Pool
+	codeBufPool  sync.Pool
+	anyBufPool   sync.Pool
+)
+
+func getIntBuf(n int) []int64 {
+	if p, ok := intBufPool.Get().(*[]int64); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]int64, n)
+}
+
+func getFloatBuf(n int) []float64 {
+	if p, ok := floatBufPool.Get().(*[]float64); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float64, n)
+}
+
+func getStrBuf(n int) []string {
+	if p, ok := strBufPool.Get().(*[]string); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]string, n)
+}
+
+func getBoolBuf(n int) []bool {
+	if p, ok := boolBufPool.Get().(*[]bool); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]bool, n)
+}
+
+func getCodeBuf(n int) []uint32 {
+	if p, ok := codeBufPool.Get().(*[]uint32); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]uint32, n)
+}
+
+func getAnyBuf(n int) []any {
+	if p, ok := anyBufPool.Get().(*[]any); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]any, n)
+}
+
+func putIntBuf(s []int64) {
+	if cap(s) > 0 {
+		s = s[:0]
+		intBufPool.Put(&s)
+	}
+}
+
+func putFloatBuf(s []float64) {
+	if cap(s) > 0 {
+		s = s[:0]
+		floatBufPool.Put(&s)
+	}
+}
+
+func putStrBuf(s []string) {
+	if cap(s) > 0 {
+		s = s[:cap(s)]
+		clear(s) // release the string data promptly
+		strBufPool.Put(&s)
+	}
+}
+
+func putBoolBuf(s []bool) {
+	if cap(s) > 0 {
+		s = s[:0]
+		boolBufPool.Put(&s)
+	}
+}
+
+func putCodeBuf(s []uint32) {
+	if cap(s) > 0 {
+		s = s[:0]
+		codeBufPool.Put(&s)
+	}
+}
+
+func putAnyBuf(s []any) {
+	if cap(s) > 0 {
+		s = s[:cap(s)]
+		clear(s) // release the boxed values promptly
+		anyBufPool.Put(&s)
+	}
+}
+
+// Recycle returns the batch's typed column buffers to the build pools and
+// empties the batch. Only the sole owner of a batch built privately from
+// rows may call it, and only after the last read of any column: recycled
+// buffers are handed out to later BatchFromRows calls. Decoded, cached, or
+// otherwise shared batches must never be recycled. Emitted rows stay valid —
+// emission boxes values out of the buffers (or reuses the original boxed
+// quanta), never aliasing the typed backing arrays.
+func (b *ColumnBatch) Recycle() {
+	for _, col := range b.Cols {
+		if col == nil {
 			continue
 		}
-		var vt ColType
-		switch v.(type) {
-		case int64:
-			vt = ColInt64
-		case float64:
-			vt = ColFloat64
-		case string:
-			vt = ColString
-		case bool:
-			vt = ColBool
-		default:
-			return anyColumn(rows, c)
-		}
-		if !sawVal {
-			t, sawVal = vt, true
-		} else if vt != t {
-			return anyColumn(rows, c)
+		putIntBuf(col.Ints)
+		putFloatBuf(col.Floats)
+		putStrBuf(col.Strs)
+		putBoolBuf(col.Bools)
+		putCodeBuf(col.Codes)
+		putAnyBuf(col.Anys)
+		col.Ints, col.Floats, col.Strs, col.Bools, col.Codes, col.Anys = nil, nil, nil, nil, nil, nil
+		col.Dict, col.Valid = nil, nil
+	}
+	b.Cols, b.rows, b.dirty, b.n = nil, nil, nil, 0
+}
+
+// ensureValid materializes the validity bitmap on the first nil seen after
+// typed filling began, back-filling the bits of the rows already written
+// (all present, or the bitmap would already exist).
+func ensureValid(col *Column, n, i int) {
+	if col.Valid == nil {
+		col.Valid = NewBitset(n)
+		for j := 0; j < i; j++ {
+			col.Valid.Set(j)
 		}
 	}
-	if !sawVal {
+}
+
+func buildColumn(rows []any, c int) *Column {
+	// Single pass: the column type is chosen from the first present value
+	// and the typed buffer fills as the scan goes. A later present value of
+	// any other kind abandons the buffer back to its pool and falls to the
+	// ColAny escape (mixed numerics, Go ints, foreign types), as does an
+	// all-nil column, so emission reproduces the boxed values bit-for-bit.
+	n := len(rows)
+	first := 0
+	for first < n && colValue(rows[first], c) == nil {
+		first++
+	}
+	if first == n {
 		return anyColumn(rows, c)
 	}
-	col := &Column{Type: t}
-	if nulls > 0 {
-		col.Valid = NewBitset(len(rows))
+	col := &Column{}
+	if first > 0 {
+		col.Valid = NewBitset(n)
 	}
-	switch t {
-	case ColInt64:
-		col.Ints = make([]int64, len(rows))
-		for i, q := range rows {
-			if v, ok := colValue(q, c).(int64); ok {
-				col.Ints[i] = v
-				if col.Valid != nil {
-					col.Valid.Set(i)
-				}
+	switch colValue(rows[first], c).(type) {
+	case int64:
+		col.Type = ColInt64
+		buf := getIntBuf(n)
+		for i := first; i < n; i++ {
+			v := colValue(rows[i], c)
+			if v == nil {
+				ensureValid(col, n, i)
+				continue
+			}
+			x, ok := v.(int64)
+			if !ok {
+				putIntBuf(buf)
+				return anyColumn(rows, c)
+			}
+			buf[i] = x
+			if col.Valid != nil {
+				col.Valid.Set(i)
 			}
 		}
-	case ColFloat64:
-		col.Floats = make([]float64, len(rows))
-		for i, q := range rows {
-			if v, ok := colValue(q, c).(float64); ok {
-				col.Floats[i] = v
-				if col.Valid != nil {
-					col.Valid.Set(i)
-				}
+		col.Ints = buf
+	case float64:
+		col.Type = ColFloat64
+		buf := getFloatBuf(n)
+		for i := first; i < n; i++ {
+			v := colValue(rows[i], c)
+			if v == nil {
+				ensureValid(col, n, i)
+				continue
+			}
+			x, ok := v.(float64)
+			if !ok {
+				putFloatBuf(buf)
+				return anyColumn(rows, c)
+			}
+			buf[i] = x
+			if col.Valid != nil {
+				col.Valid.Set(i)
 			}
 		}
-	case ColString:
-		col.Strs = make([]string, len(rows))
-		for i, q := range rows {
-			if v, ok := colValue(q, c).(string); ok {
-				col.Strs[i] = v
-				if col.Valid != nil {
-					col.Valid.Set(i)
-				}
+		col.Floats = buf
+	case string:
+		if !buildStringColumn(col, rows, c, first) {
+			return anyColumn(rows, c)
+		}
+	case bool:
+		col.Type = ColBool
+		buf := getBoolBuf(n)
+		for i := first; i < n; i++ {
+			v := colValue(rows[i], c)
+			if v == nil {
+				ensureValid(col, n, i)
+				continue
+			}
+			x, ok := v.(bool)
+			if !ok {
+				putBoolBuf(buf)
+				return anyColumn(rows, c)
+			}
+			buf[i] = x
+			if col.Valid != nil {
+				col.Valid.Set(i)
 			}
 		}
-	case ColBool:
-		col.Bools = make([]bool, len(rows))
-		for i, q := range rows {
-			if v, ok := colValue(q, c).(bool); ok {
-				col.Bools[i] = v
-				if col.Valid != nil {
-					col.Valid.Set(i)
-				}
-			}
-		}
+		col.Bools = buf
+	default:
+		return anyColumn(rows, c)
 	}
 	return col
 }
 
+// Dictionary encoding engages while the distinct count stays below both
+// bounds: a small absolute cap (keeps per-distinct predicate evaluation and
+// the wire-frame dictionary cheap) and half the row count (below which plain
+// storage is denser anyway).
+const (
+	maxDictSize    = 256
+	dictMinRowsPer = 2
+)
+
+// buildStringColumn fills a ColString column in the same single pass,
+// dictionary-encoding while the distinct count stays within the bounds and
+// degrading to a plain string buffer when it grows past them. A non-string
+// present value reports false and the caller escapes to ColAny.
+func buildStringColumn(col *Column, rows []any, c, first int) bool {
+	n := len(rows)
+	col.Type = ColString
+	codes := getCodeBuf(n)
+	dict := make([]string, 0, 16)
+	idx := make(map[string]uint32, 16)
+	var strs []string // non-nil once the dictionary is abandoned
+	for i := first; i < n; i++ {
+		v := colValue(rows[i], c)
+		if v == nil {
+			ensureValid(col, n, i)
+			continue
+		}
+		s, ok := v.(string)
+		if !ok {
+			putCodeBuf(codes)
+			putStrBuf(strs)
+			return false
+		}
+		if col.Valid != nil {
+			col.Valid.Set(i)
+		}
+		if strs != nil {
+			strs[i] = s
+			continue
+		}
+		code, seen := idx[s]
+		if !seen {
+			if len(dict) >= maxDictSize {
+				strs = decodePlain(col, codes, dict, first, i, n)
+				putCodeBuf(codes)
+				strs[i] = s
+				continue
+			}
+			code = uint32(len(dict))
+			dict = append(dict, s)
+			idx[s] = code
+		}
+		codes[i] = code
+	}
+	if strs != nil {
+		col.Strs = strs
+		return true
+	}
+	if len(dict)*dictMinRowsPer > n {
+		col.Strs = decodePlain(col, codes, dict, first, n, n)
+		putCodeBuf(codes)
+		return true
+	}
+	col.Dict, col.Codes = dict, codes
+	addDictColumn()
+	return true
+}
+
+// decodePlain materializes rows [first, upto) of a partially
+// dictionary-encoded column into a plain length-n string buffer (holes stay
+// the empty string, masked by the validity bitmap).
+func decodePlain(col *Column, codes []uint32, dict []string, first, upto, n int) []string {
+	strs := getStrBuf(n)
+	for j := first; j < upto; j++ {
+		if col.Valid == nil || col.Valid.Test(j) {
+			strs[j] = dict[codes[j]]
+		}
+	}
+	return strs
+}
+
 func anyColumn(rows []any, c int) *Column {
-	col := &Column{Type: ColAny, Anys: make([]any, len(rows))}
+	col := &Column{Type: ColAny, Anys: getAnyBuf(len(rows))}
 	for i, q := range rows {
 		col.Anys[i] = colValue(q, c)
 	}
@@ -239,6 +511,32 @@ func anyColumn(rows []any, c int) *Column {
 
 // AppendRows appends every row of the batch to dst in row-major form.
 func (b *ColumnBatch) AppendRows(dst []any) []any { return b.EmitRows(dst, nil, nil) }
+
+// CloneForWrite returns a batch that shares everything with b except the
+// listed columns, whose numeric buffers are deep-copied so in-place rewrites
+// (ApplyNumExpr) don't leak into other consumers of a shared batch — cached
+// partitions, re-read spill files. Only numeric columns ever get rewritten
+// (VecMapOK gates that), so string/bool/escape buffers stay shared. The
+// Cols and dirty slices themselves are always copied.
+func (b *ColumnBatch) CloneForWrite(cols []int) *ColumnBatch {
+	nb := &ColumnBatch{n: b.n, scalar: b.scalar, rows: b.rows}
+	nb.Cols = append([]*Column(nil), b.Cols...)
+	nb.dirty = append([]bool(nil), b.dirty...)
+	for _, c := range cols {
+		if c < 0 || c >= len(nb.Cols) || nb.Cols[c] == nil {
+			continue
+		}
+		col := *nb.Cols[c]
+		if col.Ints != nil {
+			col.Ints = append([]int64(nil), col.Ints...)
+		}
+		if col.Floats != nil {
+			col.Floats = append([]float64(nil), col.Floats...)
+		}
+		nb.Cols[c] = &col
+	}
+	return nb
+}
 
 // EmitRows appends the selected rows (sel nil = all, in order) to dst,
 // projected to the proj columns (nil = every column in order). Columns the
@@ -326,7 +624,7 @@ func (b *ColumnBatch) boxed(c, i int) any {
 	case ColFloat64:
 		return col.Floats[i]
 	case ColString:
-		return col.Strs[i]
+		return col.Str(i)
 	case ColBool:
 		return col.Bools[i]
 	default:
@@ -365,7 +663,7 @@ func (b *ColumnBatch) VecFilterOK(c int, p *Predicate) bool {
 		return false
 	}
 	col := b.Cols[c]
-	if col.Valid != nil {
+	if col == nil || col.Valid != nil {
 		return false
 	}
 	if _, ok := p.Value.(string); ok {
@@ -382,7 +680,50 @@ func (b *ColumnBatch) FilterSel(c int, p *Predicate, sel, out []int) []int {
 	col := b.Cols[c]
 	lt, eq, gt := predMask(p.Op)
 	if v, ok := p.Value.(string); ok {
+		if col.Dict != nil {
+			// Dictionary column: evaluate the predicate once per distinct
+			// value, then the per-row pass is a table lookup over codes.
+			match := make([]bool, len(col.Dict))
+			for d, s := range col.Dict {
+				if p.Op == PredPrefix {
+					match[d] = len(s) >= len(v) && s[:len(v)] == v
+				} else {
+					match[d] = (lt && s < v) || (eq && s == v) || (gt && s > v)
+				}
+			}
+			xs := col.Codes
+			if sel == nil {
+				for i := 0; i < b.n; i++ {
+					if match[xs[i]] {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+			for _, i := range sel {
+				if match[xs[i]] {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
 		xs := col.Strs
+		if p.Op == PredPrefix {
+			if sel == nil {
+				for i := 0; i < b.n; i++ {
+					if s := xs[i]; len(s) >= len(v) && s[:len(v)] == v {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+			for _, i := range sel {
+				if s := xs[i]; len(s) >= len(v) && s[:len(v)] == v {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
 		if sel == nil {
 			for i := 0; i < b.n; i++ {
 				if s := xs[i]; (lt && s < v) || (eq && s == v) || (gt && s > v) {
@@ -441,7 +782,7 @@ func (b *ColumnBatch) VecMapOK(c int, e *MapExpr) bool {
 		return false
 	}
 	col := b.Cols[c]
-	if col.Valid != nil {
+	if col == nil || col.Valid != nil {
 		return false
 	}
 	if col.Type != ColInt64 && col.Type != ColFloat64 {

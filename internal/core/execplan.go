@@ -227,11 +227,13 @@ type OpStats struct {
 // partition batches / rows ran vectorized vs. fell back to the row kernel
 // (unbatchable input, type or null mismatches, sniffed steps).
 type VectorChainStats struct {
-	Ops       []*Operator // the chain, head first
-	VecSteps  int         // leading steps compiled to column loops
-	Batches   int64       // partitions executed column-wise
-	Rows      int64       // rows that took the vectorized path
-	Fallbacks int64       // partitions that fell back to the row kernel
+	Ops        []*Operator // the chain, head first (absorbed aggregation last)
+	VecSteps   int         // leading steps compiled to column loops
+	Batches    int64       // partitions executed column-wise
+	Rows       int64       // rows that took the vectorized path
+	Fallbacks  int64       // partitions that fell back to the row kernel
+	AggBatches int64       // batches absorbed by the grouped-aggregation kernel
+	AggRows    int64       // surviving rows the aggregation kernel absorbed
 }
 
 // StageStats are the monitor's observations of one stage execution.

@@ -274,5 +274,13 @@ func udfIdentity(u UDFs) string {
 	add("rightnums", u.RightNums)
 	add("cond", u.Cond)
 	add("open", u.Open)
+	// Declarative forms: the expression text is the identity (the paired
+	// opaque closures, when present, hash to one shared symbol anyway).
+	if u.MapExpr != nil {
+		s += "mapexpr=" + u.MapExpr.String() + ";"
+	}
+	if u.ReduceExpr != nil {
+		s += "reduceexpr=" + u.ReduceExpr.String() + ";"
+	}
 	return s
 }

@@ -110,14 +110,23 @@ type UDFs struct {
 	// two consistent: Map = MapExpr.Fn()). Row-at-a-time paths only ever
 	// call Map; the vectorized kernel compiler recognizes MapExpr and runs
 	// it as a per-column tight loop.
-	MapExpr  *MapExpr
-	MapPart  func([]any) []any   // MapPartitions
-	Key      func(any) any       // ReduceBy, GroupBy, Join (left), CoGroup (left)
-	KeyRight func(any) any       // Join (right), CoGroup (right)
-	Reduce   func(a, b any) any  // Reduce, ReduceBy
-	Combine  func(l, r any) any  // Join result composer; default -> Record{l, r}
-	Less     func(a, b any) bool // Sort; default CompareAny
-	Format   func(any) string    // TextFileSink; default fmt.Sprint
+	MapExpr *MapExpr
+
+	// ReduceExpr, when set, is the declarative form of a grouped
+	// aggregation (builders keep Key = ReduceExpr.KeyFn()). Engines
+	// recognize it and run the two-phase partial/merge aggregation —
+	// vectorized over ColumnBatches when the columnar plane is on, through
+	// the row-at-a-time AggState fold otherwise. Reduce stays nil: pairwise
+	// folding cannot express avg, so declarative reduce-bys never take the
+	// opaque UDF path.
+	ReduceExpr *ReduceExpr
+	MapPart    func([]any) []any   // MapPartitions
+	Key        func(any) any       // ReduceBy, GroupBy, Join (left), CoGroup (left)
+	KeyRight   func(any) any       // Join (right), CoGroup (right)
+	Reduce     func(a, b any) any  // Reduce, ReduceBy
+	Combine    func(l, r any) any  // Join result composer; default -> Record{l, r}
+	Less       func(a, b any) bool // Sort; default CompareAny
+	Format     func(any) string    // TextFileSink; default fmt.Sprint
 
 	// IEJoin condition attribute extractors: for a left quantum, LeftNums
 	// returns the values compared under IEOp1 and IEOp2; likewise RightNums.

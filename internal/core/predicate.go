@@ -1,17 +1,23 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // PredOp is a declarative comparison operator.
 type PredOp int
 
-// Declarative predicate comparisons.
+// Declarative predicate comparisons. PredPrefix is a string-only match
+// (strings.HasPrefix); under a non-string comparison value it keeps nothing,
+// like any unknown operator.
 const (
 	PredEq PredOp = iota
 	PredLt
 	PredLe
 	PredGt
 	PredGe
+	PredPrefix
 )
 
 func (o PredOp) String() string {
@@ -26,6 +32,8 @@ func (o PredOp) String() string {
 		return ">"
 	case PredGe:
 		return ">="
+	case PredPrefix:
+		return "^="
 	}
 	return "?"
 }
@@ -59,6 +67,8 @@ func (p *Predicate) Eval(r Record) bool {
 			return s > v
 		case PredGe:
 			return s >= v
+		case PredPrefix:
+			return strings.HasPrefix(s, v)
 		}
 	default:
 		f := r.Float(p.Col)
@@ -108,6 +118,8 @@ func (p *Predicate) EvalQuantum(q any) bool {
 			return s > v
 		case PredGe:
 			return s >= v
+		case PredPrefix:
+			return strings.HasPrefix(s, v)
 		}
 	default:
 		f, ok := toFloat(q)

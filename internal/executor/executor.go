@@ -50,6 +50,10 @@ type Executor struct {
 	// offer falls back to the local path below — remote execution is an
 	// optimization, never a correctness dependency.
 	Remote RemoteStageRunner
+
+	// dictCols is the last core.DictColumnsBuilt() value folded into the
+	// dictionary-column metric (delta tracking of a process-wide counter).
+	dictCols int64
 }
 
 // RemoteFetchFn materializes the output of an operator produced outside
@@ -155,6 +159,9 @@ func (ex *Executor) registerMetricsHelp() {
 	ex.Metrics.Help("rheem_columnar_batches_total", "Partition batches executed column-wise by vectorized kernels, by platform.")
 	ex.Metrics.Help("rheem_columnar_rows_total", "Rows processed through the vectorized column path, by platform.")
 	ex.Metrics.Help("rheem_columnar_fallbacks_total", "Partition batches that fell back from the column path to the row kernel, by platform.")
+	ex.Metrics.Help("rheem_columnar_agg_batches_total", "Batches absorbed whole by the vectorized grouped-aggregation kernel, by platform.")
+	ex.Metrics.Help("rheem_columnar_agg_rows_total", "Surviving rows the vectorized grouped-aggregation kernel absorbed column-wise, by platform.")
+	ex.Metrics.Help("rheem_columnar_dict_columns_total", "Dictionary-encoded string columns built by the columnar plane (process-wide).")
 }
 
 // run executes ep; loopVar/outerChans are set for loop-body executions.
@@ -346,15 +353,28 @@ func (ex *Executor) run(ctx context.Context, ep *core.ExecPlan, runID string, lo
 				if n := len(oc.stats.Vectorized); n > 0 {
 					pl := telemetry.L("platform", oc.stage.Platform)
 					ex.Metrics.Counter("rheem_columnar_chains_total", pl).Add(float64(n))
-					var batches, rows, fallbacks int64
+					var batches, rows, fallbacks, aggBatches, aggRows int64
 					for _, v := range oc.stats.Vectorized {
 						batches += v.Batches
 						rows += v.Rows
 						fallbacks += v.Fallbacks
+						aggBatches += v.AggBatches
+						aggRows += v.AggRows
 					}
 					ex.Metrics.Counter("rheem_columnar_batches_total", pl).Add(float64(batches))
 					ex.Metrics.Counter("rheem_columnar_rows_total", pl).Add(float64(rows))
 					ex.Metrics.Counter("rheem_columnar_fallbacks_total", pl).Add(float64(fallbacks))
+					if aggBatches > 0 || aggRows > 0 {
+						ex.Metrics.Counter("rheem_columnar_agg_batches_total", pl).Add(float64(aggBatches))
+						ex.Metrics.Counter("rheem_columnar_agg_rows_total", pl).Add(float64(aggRows))
+					}
+				}
+				// Dictionary columns are built by a process-wide codec path
+				// (decode and batch construction), so the counter tracks the
+				// process total rather than a per-stage attribution.
+				if built := core.DictColumnsBuilt(); built > ex.dictCols {
+					ex.Metrics.Counter("rheem_columnar_dict_columns_total").Add(float64(built - ex.dictCols))
+					ex.dictCols = built
 				}
 			}
 		}
@@ -434,6 +454,10 @@ func annotateStageSpan(stSp *trace.Span, s *core.Stage, stats *core.StageStats) 
 			fuSp.SetInt("columnar_batches", v.Batches)
 			fuSp.SetInt("columnar_rows", v.Rows)
 			fuSp.SetInt("columnar_fallbacks", v.Fallbacks)
+			if v.AggBatches > 0 || v.AggRows > 0 {
+				fuSp.SetInt("columnar_agg_batches", v.AggBatches)
+				fuSp.SetInt("columnar_agg_rows", v.AggRows)
+			}
 			break
 		}
 		fuSp.End()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"rheem"
 	"rheem/internal/core"
@@ -11,10 +12,13 @@ import (
 // Columnar measures the columnar data plane: declarative chains executed with
 // vectorized column kernels vs. the fused row path (RHEEM_NO_COLUMNAR), per
 // shape. Both modes fuse, so the delta isolates batch conversion plus
-// per-column tight loops against per-quantum interface dispatch. Three
-// shapes: scan (numeric maps only), filter (selection-vector heavy), and
-// aggregate (declarative prefix feeding a wide reduce, where the column path
-// only covers the prefix).
+// per-column tight loops against per-quantum interface dispatch. Six shapes:
+// scan (numeric maps only), filter (selection-vector heavy; lazy construction
+// skips the string column the plan never reads), aggregate (declarative
+// prefix feeding a declarative reduce-by, absorbed whole-batch by the
+// vectorized grouped-aggregation kernel), strpred (dictionary-encoded string
+// equality/prefix predicates), and lazyfilter (a narrow predicate over wide
+// quanta, where lazy per-column construction builds one column of three).
 func Columnar(opts Options) ([]Row, error) {
 	opts = opts.withDefaults()
 	n := opts.n(1000000)
@@ -42,13 +46,25 @@ func Columnar(opts Options) ([]Row, error) {
 		case "aggregate":
 			d = d.FilterWhere("gt", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(500)}).
 				MapExpr("add", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(5)}).
-				Project(2, 0).
-				ReduceBy("sum-by-group",
-					func(q any) any { return q.(core.Record)[0] },
-					func(a, b any) any {
-						ar, br := a.(core.Record), b.(core.Record)
-						return core.Record{ar[0], ar[1].(int64) + br[1].(int64)}
-					})
+				ReduceByExpr("agg-by-group", core.ReduceExpr{
+					GroupCols: []int{2},
+					Aggs: []core.AggSpec{
+						{Op: core.AggSum, Col: 0},
+						{Op: core.AggCount, Col: core.WholeQuantum},
+						{Op: core.AggAvg, Col: 1},
+					},
+				})
+		case "strpred":
+			d = d.FilterWhere("grp", core.Predicate{Col: 2, Op: core.PredPrefix, Value: "g"}).
+				FilterWhere("pick", core.Predicate{Col: 2, Op: core.PredEq, Value: "g3"}).
+				MapExpr("add", core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(1)}).
+				Project(2, 0)
+		case "lazyfilter":
+			// The compiled plan reads only column 0; lazy construction skips
+			// the float and string columns entirely.
+			d = d.FilterWhere("gt", core.Predicate{Col: 0, Op: core.PredGt, Value: int64(2000)}).
+				FilterWhere("le", core.Predicate{Col: 0, Op: core.PredLe, Value: int64(8000)}).
+				Project(0)
 		}
 		sink := d.CollectSink()
 		p := b.Plan()
@@ -57,35 +73,51 @@ func Columnar(opts Options) ([]Row, error) {
 	}
 
 	var rows []Row
-	for _, shape := range []string{"scan", "filter", "aggregate"} {
+	for _, shape := range []string{"scan", "filter", "aggregate", "strpred", "lazyfilter"} {
 		for _, platform := range []string{"streams", "spark", "flink"} {
 			cfg := fmt.Sprintf("shape=%s platform=%s", shape, platform)
 			for _, system := range []string{"columnar", "row"} {
-				ctx, err := newCtx()
-				if err != nil {
-					return nil, err
-				}
-				plan, sink := build(ctx, shape, platform)
-				prev := core.SetColumnarDisabled(system == "row")
-				ms, err := timed(func() error {
-					res, err := ctx.Execute(plan, rheem.WithProgressive(false))
+				// Best of two runs, with a forced collection before each:
+				// the suite reuses one heap across 30 measurements, and on
+				// small hosts a single run's time is otherwise dominated by
+				// whenever the previous run's garbage gets collected.
+				best := 0.0
+				for rep := 0; rep < 2; rep++ {
+					// Unlike the paper figures, this experiment isolates
+					// kernel throughput: the simulated cluster latencies
+					// (context startup, job dispatch) are identical constants
+					// on both systems and only mask the columnar-vs-row
+					// delta, so they are turned off.
+					ctx, err := rheem.NewContext(rheem.Config{FastSimulation: true})
 					if err != nil {
-						return err
+						return nil, err
 					}
-					out, err := res.CollectFrom(sink)
+					plan, sink := build(ctx, shape, platform)
+					prev := core.SetColumnarDisabled(system == "row")
+					runtime.GC()
+					ms, err := timed(func() error {
+						res, err := ctx.Execute(plan, rheem.WithProgressive(false))
+						if err != nil {
+							return err
+						}
+						out, err := res.CollectFrom(sink)
+						if err != nil {
+							return err
+						}
+						if len(out) == 0 {
+							return fmt.Errorf("columnar %s %s: empty result", cfg, system)
+						}
+						return nil
+					})
+					core.SetColumnarDisabled(prev)
 					if err != nil {
-						return err
+						return nil, fmt.Errorf("columnar %s %s: %w", cfg, system, err)
 					}
-					if len(out) == 0 {
-						return fmt.Errorf("columnar %s %s: empty result", cfg, system)
+					if rep == 0 || ms < best {
+						best = ms
 					}
-					return nil
-				})
-				core.SetColumnarDisabled(prev)
-				if err != nil {
-					return nil, fmt.Errorf("columnar %s %s: %w", cfg, system, err)
 				}
-				rows = append(rows, Row{Figure: "columnar", Config: cfg, System: system, Ms: ms})
+				rows = append(rows, Row{Figure: "columnar", Config: cfg, System: system, Ms: best})
 			}
 		}
 	}

@@ -403,8 +403,12 @@ func dpEnumerate(p *core.Plan, opts Options, inflated map[*core.Operator][]entry
 			// overhead — per-op dispatch and intermediate materialization —
 			// is not paid; only its per-tuple UDF cost remains. The discount
 			// never exceeds own's fixed part, so totals stay non-negative.
+			// Declarative reduce-by rides its producer's chain too: the
+			// engines absorb it as the chain's vectorized aggregation tail.
 			fuseDisc := 0.0
-			if !core.FusionDisabled() && core.FusibleKind(op.Kind) && core.InArityOf(op) == 1 {
+			fusible := core.FusibleKind(op.Kind) ||
+				(op.Kind == core.KindReduceBy && op.UDF.ReduceExpr != nil)
+			if !core.FusionDisabled() && fusible && core.InArityOf(op) == 1 {
 				fuseDisc = opts.Costs.FusedStepOverheadMs(ent.alt) * opts.weight(ent.alt.Platform)
 			}
 			picks := map[*core.Operator]int{}

@@ -74,6 +74,59 @@ func ReadDFSQuanta(store *dfs.Store, path string) ([]any, error) {
 	return core.ReadQuantaStream(r)
 }
 
+// ReadDFSQuantaSegments decodes a whole DFS quanta file keeping column-batch
+// frames as native segments, so batch-aware engines skip the row round-trip.
+func ReadDFSQuantaSegments(store *dfs.Store, path string) ([]core.Segment, error) {
+	r, err := store.Open(dfs.TrimScheme(path))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return core.ReadQuantaStreamSegments(r)
+}
+
+// ReadDFSQuantaBlockSegments decodes one block split keeping column-batch
+// frames native. Expanding all blocks' segments in order yields exactly
+// ReadDFSQuantaBlock's concatenated rows.
+func ReadDFSQuantaBlockSegments(store *dfs.Store, name string, index int) ([]core.Segment, error) {
+	name = dfs.TrimScheme(name)
+	if !store.IsFramed(name) {
+		rows, err := ReadDFSQuantaBlock(store, name, index)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		return []core.Segment{{Rows: rows}}, nil
+	}
+	frames, err := store.ReadBlockFrames(name, index)
+	if err != nil {
+		return nil, err
+	}
+	var segs []core.Segment
+	var run []any
+	for _, f := range frames {
+		q, err := core.DecodeQuantumBinary(f)
+		if err != nil {
+			return nil, err
+		}
+		if cb, ok := q.(*core.ColumnBatch); ok {
+			if len(run) > 0 {
+				segs = append(segs, core.Segment{Rows: run})
+				run = nil
+			}
+			segs = append(segs, core.Segment{Batch: cb})
+			continue
+		}
+		run = append(run, q)
+	}
+	if len(run) > 0 {
+		segs = append(segs, core.Segment{Rows: run})
+	}
+	return segs, nil
+}
+
 // ReadDFSQuantaBlock decodes the quanta one block split owns: binary frames
 // for framed files, JSON lines otherwise. Concatenating all blocks' results
 // yields exactly the file's quanta, each once.

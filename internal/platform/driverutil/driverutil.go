@@ -112,9 +112,9 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 				return nil, nil, err
 			}
 			attributeChainTime(chain, counters, elapsed, opTimes)
-			fusedChains = append(fusedChains, chain.Ops)
-			if kernel.VecLen() > 0 {
-				vecRuns = append(vecRuns, vecRun{ops: chain.Ops, kernel: kernel})
+			fusedChains = append(fusedChains, chain.AllOps())
+			if kernel.VecLen() > 0 || kernel.Agg() != nil {
+				vecRuns = append(vecRuns, vecRun{ops: chain.AllOps(), kernel: kernel})
 			}
 			continue
 		}
@@ -171,16 +171,18 @@ func runStage(e Engine, stage *core.Stage, in *core.Inputs) (map[*core.Operator]
 	// partition empty — are not reported: Vectorized describes what the
 	// columnar plane actually did, not what compiled.
 	for _, vr := range vecRuns {
-		batches, rows, fallbacks := vr.kernel.Stats()
+		batches, rows, fallbacks, aggBatches, aggRows := vr.kernel.Stats()
 		if batches == 0 && fallbacks == 0 {
 			continue
 		}
 		stats.Vectorized = append(stats.Vectorized, core.VectorChainStats{
-			Ops:       vr.ops,
-			VecSteps:  vr.kernel.VecLen(),
-			Batches:   batches,
-			Rows:      rows,
-			Fallbacks: fallbacks,
+			Ops:        vr.ops,
+			VecSteps:   vr.kernel.VecLen(),
+			Batches:    batches,
+			Rows:       rows,
+			Fallbacks:  fallbacks,
+			AggBatches: aggBatches,
+			AggRows:    aggRows,
 		})
 	}
 	for op, c := range counters {
@@ -206,8 +208,9 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 	if err != nil {
 		return nil, 0, err
 	}
-	ctrs := make([]*int64, len(chain.Ops))
-	for i, op := range chain.Ops {
+	allOps := chain.AllOps()
+	ctrs := make([]*int64, len(allOps))
+	for i, op := range allOps {
 		bc, err := broadcastCtx(op, in)
 		if err != nil {
 			return nil, 0, err
@@ -223,7 +226,7 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 	if err != nil {
 		return nil, 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
 	}
-	kernel := CompileVector(chain.Ops, rowKernel)
+	kernel := CompileVector(chain.Ops, chain.Agg, rowKernel)
 	// Exploratory-mode sniffers observe inside the kernel, at each step's
 	// emission points. The unfused engines call sniffers from one goroutine
 	// at a time; a per-chain mutex preserves that contract when the kernel
@@ -246,7 +249,7 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 	if err != nil {
 		return nil, 0, fmt.Errorf("%s: %s: %w", stage, chain, err)
 	}
-	results[chain.Tail()] = d
+	results[chain.Out()] = d
 	return kernel, time.Since(opStart), nil
 }
 
@@ -257,14 +260,14 @@ func runChain(e Engine, ce ChainEngine, stage *core.Stage, chain *FusedChain, in
 // whole elapsed time lands on the tail and reattributeLazyTime takes over.
 func attributeChainTime(chain *FusedChain, counters map[*core.Operator]*int64, elapsed time.Duration, opTimes map[*core.Operator]time.Duration) {
 	var total int64
-	for _, op := range chain.Ops {
+	for _, op := range chain.AllOps() {
 		total += *counters[op]
 	}
 	if total == 0 {
-		opTimes[chain.Tail()] = elapsed
+		opTimes[chain.Out()] = elapsed
 		return
 	}
-	for _, op := range chain.Ops {
+	for _, op := range chain.AllOps() {
 		opTimes[op] = time.Duration(float64(elapsed) * float64(*counters[op]) / float64(total))
 	}
 }

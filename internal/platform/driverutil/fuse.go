@@ -17,22 +17,45 @@ import (
 // operator at a time.
 
 // FusedChain is a maximal run of fusible operators inside one stage, in
-// dataflow order.
+// dataflow order, optionally terminated by an absorbed declarative
+// aggregation (a reduce-by carrying a ReduceExpr) the engine executes as
+// part of the same pass.
 type FusedChain struct {
 	Ops []*core.Operator
+	// Agg, when set, is a KindReduceBy operator with UDF.ReduceExpr that
+	// consumes the tail's output inside the chain: the engine feeds the
+	// kernel's survivors straight into grouped accumulators instead of
+	// materializing them. Nil for pure narrow chains.
+	Agg *core.Operator
 }
 
 // Head returns the chain's first operator (the one whose input feeds the
 // kernel).
 func (c *FusedChain) Head() *core.Operator { return c.Ops[0] }
 
-// Tail returns the chain's last operator (the one whose output the kernel
-// produces).
+// Tail returns the chain's last narrow operator.
 func (c *FusedChain) Tail() *core.Operator { return c.Ops[len(c.Ops)-1] }
+
+// Out returns the operator whose output the chain produces: the absorbed
+// aggregation when present, the narrow tail otherwise.
+func (c *FusedChain) Out() *core.Operator {
+	if c.Agg != nil {
+		return c.Agg
+	}
+	return c.Tail()
+}
+
+// AllOps returns the chain's operators including the absorbed aggregation.
+func (c *FusedChain) AllOps() []*core.Operator {
+	if c.Agg == nil {
+		return c.Ops
+	}
+	return append(append([]*core.Operator{}, c.Ops...), c.Agg)
+}
 
 func (c *FusedChain) String() string {
 	s := ""
-	for i, op := range c.Ops {
+	for i, op := range c.AllOps() {
 		if i > 0 {
 			s += " → "
 		}
@@ -44,10 +67,16 @@ func (c *FusedChain) String() string {
 // ChainEngine is optionally implemented by engines that can execute a fused
 // chain natively. in is the head operator's (single) resolved input;
 // counters are per-chain-op output-cardinality counters aligned with
-// chain.Ops. The returned Data stands for the tail operator's output. The
-// kernel is a VectorKernel: engines just call Run, which takes the columnar
-// path when the chain's leading steps vectorized and the partition allows
-// it, and the row path otherwise.
+// chain.AllOps() — one extra trailing counter for the absorbed aggregation
+// when chain.Agg is set. The returned Data stands for chain.Out()'s output.
+// The kernel is a VectorKernel: for pure narrow chains engines just call
+// Run (or RunSegments for batch-native partitions), which takes the
+// columnar path when the chain's leading steps vectorized and the partition
+// allows it, and the row path otherwise. When kernel.Agg() is non-nil the
+// engine must instead drive RunAgg/RunSegmentsAgg into core.AggState
+// accumulators, exchange partials on Agg's PartialKeyFn if it is
+// distributed, finalize, and count the finalized groups into the trailing
+// counter.
 type ChainEngine interface {
 	ApplyChain(chain *FusedChain, kernel *VectorKernel, in Data, counters []*int64) (Data, error)
 }
@@ -86,10 +115,14 @@ func isTerminal(stage *core.Stage, op *core.Operator) bool {
 }
 
 // PlanFusion walks the stage's topo-ordered ops and returns the maximal
-// fusible chains (length ≥ 2), keyed by chain head, plus the set of
-// non-head operators each chain covers. A chain extends from cur to next
-// while cur feeds exactly next (single consumer, not a terminal output) and
-// next is a fusible operator consuming only cur.
+// fusible chains, keyed by chain head, plus the set of non-head operators
+// each chain covers. A chain extends from cur to next while cur feeds
+// exactly next (single consumer, not a terminal output) and next is a
+// fusible operator consuming only cur. A declarative reduce-by directly
+// downstream of the chain is absorbed as its Agg terminator, so engines
+// aggregate the kernel's survivors without materializing them; chains are
+// kept only when they fuse at least two narrow ops or end in an absorbed
+// aggregation.
 func PlanFusion(stage *core.Stage) (chains map[*core.Operator]*FusedChain, covered map[*core.Operator]bool) {
 	chains = map[*core.Operator]*FusedChain{}
 	covered = map[*core.Operator]bool{}
@@ -113,15 +146,41 @@ func PlanFusion(stage *core.Stage) (chains map[*core.Operator]*FusedChain, cover
 			chain = append(chain, next)
 			cur = next
 		}
-		if len(chain) < 2 {
+		agg := absorbableAgg(stage, cur)
+		if len(chain) < 2 && agg == nil {
 			continue
 		}
-		chains[op] = &FusedChain{Ops: chain}
+		chains[op] = &FusedChain{Ops: chain, Agg: agg}
 		for _, c := range chain[1:] {
 			covered[c] = true
 		}
+		if agg != nil {
+			covered[agg] = true
+		}
 	}
 	return chains, covered
+}
+
+// absorbableAgg returns the declarative reduce-by that can terminate a chain
+// ending at cur: cur's sole consumer, in-stage, single-input, carrying a
+// ReduceExpr, and unsniffed (a sniffer must observe the reduce-by's output
+// quanta one at a time, which only the unfused path provides — absorbed
+// aggregations finalize whole groups at once).
+func absorbableAgg(stage *core.Stage, cur *core.Operator) *core.Operator {
+	if isTerminal(stage, cur) || len(cur.Outputs()) != 1 {
+		return nil
+	}
+	next := cur.Outputs()[0]
+	if next.Kind != core.KindReduceBy || next.UDF.ReduceExpr == nil {
+		return nil
+	}
+	if !stage.Contains(next) || len(next.Inputs()) != 1 || next.Inputs()[0] != cur {
+		return nil
+	}
+	if stage.Sniffers[next] != nil {
+		return nil
+	}
+	return next
 }
 
 // fusedStep is one compiled operator of a chain.

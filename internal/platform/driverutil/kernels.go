@@ -72,7 +72,15 @@ func HashJoin(op *core.Operator, left, right []any) ([]any, error) {
 
 // ReduceByKey folds quanta sharing a key into one quantum per key. Output
 // order follows first occurrence of each key, keeping results deterministic.
+// Declarative reduce expressions dispatch to the grouped accumulator kernel;
+// this arm is only correct for engines that apply the operator exactly once
+// over the whole dataset (an aggregation is not idempotent the way a
+// re-applied combiner is, so two-phase engines branch on ReduceExpr before
+// calling here).
 func ReduceByKey(op *core.Operator, data []any) ([]any, error) {
+	if e := op.UDF.ReduceExpr; e != nil {
+		return core.AggregateRows(e, data), nil
+	}
 	if op.UDF.Key == nil || op.UDF.Reduce == nil {
 		return nil, fmt.Errorf("reduce-by %s lacks key or reduce UDF", op)
 	}

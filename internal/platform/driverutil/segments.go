@@ -1,0 +1,107 @@
+package driverutil
+
+import "rheem/internal/core"
+
+// Batch-native channel movement. Quanta decoded from shuffle files, DFS
+// blocks, and spill channels arrive as core.Segments — runs of rows
+// interleaved with native column batches — and the helpers here carry them
+// to the engines' partitions without a row round-trip. The cardinal rule is
+// boundary identity: however a partition's quanta are carried, the set and
+// order of rows per partition must be byte-identical to the row path's, so
+// the RHEEM_NO_COLUMNAR kill switch (and any per-batch fallback) never
+// changes what downstream operators observe.
+
+// ChannelSegments extracts a collection- or file-typed channel's quanta as
+// segments when a batch-native representation is available: a
+// SegmentedDataset payload, or a quanta-file path whose batch frames decode
+// straight to column batches. ok=false — plain slice payloads, or the
+// columnar plane disabled (the kill switch must reproduce the exact legacy
+// path) — sends the caller to ChannelSlice.
+func ChannelSegments(ch *core.Channel) (segs []core.Segment, ok bool, err error) {
+	if core.ColumnarDisabled() {
+		return nil, false, nil
+	}
+	switch p := ch.Payload.(type) {
+	case *core.SegmentedDataset:
+		return p.Segs, true, nil
+	case string:
+		segs, err := core.ReadQuantaFileSegments(p)
+		if err != nil {
+			return nil, false, err
+		}
+		return segs, true, nil
+	}
+	return nil, false, nil
+}
+
+// SplitSegments partitions a segment run into n contiguous parts with
+// exactly the boundaries the engines' ceil-chunk row partitioners produce
+// over the flattened rows (chunk = ceil(total/n); part i covers [i*chunk,
+// min((i+1)*chunk, total))). A batch that straddles a boundary is expanded
+// and split at the exact row offset — at most n-1 batches lose their
+// batch-native form — so batch-carried and row-carried partitioning are
+// row-for-row identical.
+func SplitSegments(segs []core.Segment, n int) [][]core.Segment {
+	if n <= 0 {
+		n = 1
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	parts := make([][]core.Segment, n)
+	if total == 0 {
+		return parts
+	}
+	chunk := (total + n - 1) / n
+	si, off := 0, 0 // cursor: segment index, row offset within it
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		hi := min(lo+chunk, total)
+		if lo >= hi {
+			continue
+		}
+		want := hi - lo
+		var part []core.Segment
+		for want > 0 {
+			s := segs[si]
+			rem := s.Len() - off
+			if rem <= want {
+				part = append(part, sliceSegment(s, off, s.Len()))
+				want -= rem
+				si, off = si+1, 0
+				continue
+			}
+			part = append(part, sliceSegment(s, off, off+want))
+			off += want
+			want = 0
+		}
+		parts[i] = part
+	}
+	return parts
+}
+
+// sliceSegment returns rows [lo:hi) of a segment; a whole batch stays
+// batch-native, a partial one expands to its boxed rows.
+func sliceSegment(s core.Segment, lo, hi int) core.Segment {
+	if s.Batch != nil {
+		if lo == 0 && hi == s.Batch.Len() {
+			return s
+		}
+		return core.Segment{Rows: s.Batch.AppendRows(nil)[lo:hi]}
+	}
+	return core.Segment{Rows: s.Rows[lo:hi]}
+}
+
+// SegmentRows flattens a partition's segments to row-major quanta.
+func SegmentRows(segs []core.Segment) []any {
+	n := 0
+	for _, s := range segs {
+		n += s.Len()
+	}
+	out := make([]any, 0, n)
+	for _, s := range segs {
+		out = s.AppendRows(out)
+	}
+	return out
+}

@@ -35,7 +35,7 @@ func compileBoth(t *testing.T, ops []*core.Operator) (*VectorKernel, *FusedKerne
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := CompileVector(ops, row)
+	k := CompileVector(ops, nil, row)
 	ref, err := CompileChain(ops) // independent kernel for the row reference
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestCompileVectorPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k := CompileVector([]*core.Operator{f}, row); k.VecLen() != 0 {
+	if k := CompileVector([]*core.Operator{f}, nil, row); k.VecLen() != 0 {
 		t.Fatalf("opaque filter vectorized: VecLen=%d", k.VecLen())
 	}
 }
@@ -82,7 +82,7 @@ func TestVectorKernelMatchesRowKernel(t *testing.T) {
 	if !reflect.DeepEqual(vCounts, rCounts) {
 		t.Fatalf("counts differ: vector %v, row %v", vCounts, rCounts)
 	}
-	if batches, rows, fallbacks := k.Stats(); batches != 1 || rows != 500 || fallbacks != 0 {
+	if batches, rows, fallbacks, _, _ := k.Stats(); batches != 1 || rows != 500 || fallbacks != 0 {
 		t.Fatalf("stats = %d/%d/%d, want 1/500/0", batches, rows, fallbacks)
 	}
 }
@@ -195,7 +195,7 @@ func TestVectorKernelFallbacks(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("mixed partition: %v vs %v", got, want)
 	}
-	if _, _, fallbacks := k.Stats(); fallbacks != 1 {
+	if _, _, fallbacks, _, _ := k.Stats(); fallbacks != 1 {
 		t.Fatalf("fallbacks = %d, want 1", fallbacks)
 	}
 
@@ -213,7 +213,7 @@ func TestVectorKernelFallbacks(t *testing.T) {
 	if vp != rp || vp == "<no panic>" {
 		t.Fatalf("string partition panics differ: vector %q, row %q", vp, rp)
 	}
-	if _, _, fb := k2.Stats(); fb != 1 {
+	if _, _, fb, _, _ := k2.Stats(); fb != 1 {
 		t.Fatalf("type-mismatch fallbacks = %d", fb)
 	}
 
@@ -228,7 +228,7 @@ func TestVectorKernelFallbacks(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("disabled: %v vs %v", got, want)
 	}
-	if batches, _, fb := k3.Stats(); batches != 0 || fb != 0 {
+	if batches, _, fb, _, _ := k3.Stats(); batches != 0 || fb != 0 {
 		t.Fatalf("disabled stats: batches=%d fallbacks=%d", batches, fb)
 	}
 
@@ -241,7 +241,7 @@ func TestVectorKernelFallbacks(t *testing.T) {
 	if len(out) != 1 || len(saw) != 1 {
 		t.Fatalf("sniffed run: out=%v saw=%v", out, saw)
 	}
-	if batches, _, _ := k4.Stats(); batches != 0 {
+	if batches, _, _, _, _ := k4.Stats(); batches != 0 {
 		t.Fatalf("sniffed run used the column path (batches=%d)", batches)
 	}
 }
@@ -284,7 +284,7 @@ func TestVectorKernelTailSharesStats(t *testing.T) {
 		t.Fatalf("tail run = %v", out)
 	}
 	// The tail's batches accumulate into the parent kernel's stats.
-	if batches, rows, _ := k.Stats(); batches != 1 || rows != 1 {
+	if batches, rows, _, _, _ := k.Stats(); batches != 1 || rows != 1 {
 		t.Fatalf("parent stats = %d/%d, want 1/1", batches, rows)
 	}
 }

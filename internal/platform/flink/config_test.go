@@ -1,0 +1,22 @@
+package flink
+
+import "testing"
+
+func TestVecChainBatchDefaults(t *testing.T) {
+	// Zero value selects the default enlarged vector batch.
+	if got := (Config{}).withDefaults().VecChainBatch; got != 4096 {
+		t.Fatalf("zero VecChainBatch resolved to %d, want 4096", got)
+	}
+	// Any negative value disables the enlarged batching: vector chains then
+	// run at the ordinary fuse batch size.
+	if got := (Config{VecChainBatch: -1}).withDefaults().VecChainBatch; got != fuseBatch {
+		t.Fatalf("negative VecChainBatch resolved to %d, want fuseBatch=%d", got, fuseBatch)
+	}
+	if got := (Config{VecChainBatch: NoOverheadMs}).withDefaults().VecChainBatch; got != fuseBatch {
+		t.Fatalf("sentinel VecChainBatch resolved to %d, want fuseBatch=%d", got, fuseBatch)
+	}
+	// Explicit positive values pass through untouched.
+	if got := (Config{VecChainBatch: 1024}).withDefaults().VecChainBatch; got != 1024 {
+		t.Fatalf("explicit VecChainBatch resolved to %d, want 1024", got)
+	}
+}

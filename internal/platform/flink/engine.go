@@ -21,6 +21,12 @@ type flow struct {
 	width  int
 	card   int64 // -1 unknown
 	errBox *errBox
+
+	// segs, set only on source flows built from batch-native channels, holds
+	// the per-instance quanta as column batches interleaved with row runs.
+	// start expands them, so row consumers see the identical stream; the
+	// batch-aware ApplyChain reads segs directly and skips the expansion.
+	segs [][]core.Segment
 }
 
 // errBox collects the first panic observed by any flow goroutine.
@@ -64,6 +70,45 @@ func sliceFlow(parts [][]any) *flow {
 					}
 					close(out)
 				}(parts[i], ch)
+			}
+			return chans
+		},
+	}
+}
+
+// segFlow wraps batch-native per-instance partitions. Expanding each
+// instance's segments in order yields exactly the rows the row-carried flow
+// would stream, so every row consumer behaves identically.
+func segFlow(segs [][]core.Segment) *flow {
+	var card int64
+	for _, part := range segs {
+		for _, s := range part {
+			card += int64(s.Len())
+		}
+	}
+	return &flow{
+		width: len(segs),
+		card:  card,
+		segs:  segs,
+		start: func() []chan any {
+			chans := make([]chan any, len(segs))
+			for i := range segs {
+				ch := make(chan any, chanBuf)
+				chans[i] = ch
+				go func(part []core.Segment, out chan any) {
+					for _, s := range part {
+						if s.Batch != nil {
+							for _, q := range s.Batch.AppendRows(nil) {
+								out <- q
+							}
+							continue
+						}
+						for _, q := range s.Rows {
+							out <- q
+						}
+					}
+					close(out)
+				}(segs[i], ch)
 			}
 			return chans
 		},
@@ -226,6 +271,14 @@ func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 		}
 		return sliceFlow(ds.Parts), nil
 	case "collection", "file":
+		// Batch-native inputs keep their column batches; SplitSegments
+		// reproduces partition's row boundaries exactly, so either carrier
+		// yields identical per-instance streams.
+		if segs, ok, err := driverutil.ChannelSegments(ch); err != nil {
+			return nil, err
+		} else if ok {
+			return segFlow(driverutil.SplitSegments(segs, e.width())), nil
+		}
 		data, err := driverutil.ChannelSlice(ch)
 		if err != nil {
 			return nil, err
@@ -234,6 +287,13 @@ func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 	case "dfs":
 		if e.driver.DFS == nil {
 			return nil, fmt.Errorf("flink: no DFS configured")
+		}
+		if !core.ColumnarDisabled() {
+			segs, err := driverutil.ReadDFSQuantaSegments(e.driver.DFS, ch.Payload.(string))
+			if err != nil {
+				return nil, err
+			}
+			return segFlow(driverutil.SplitSegments(segs, e.width())), nil
 		}
 		data, err := driverutil.ReadDFSQuanta(e.driver.DFS, ch.Payload.(string))
 		if err != nil {
@@ -310,12 +370,9 @@ var countMu sync.Mutex
 // chain runs over one vector per kernel invocation, amortizing channel
 // sends and reusing one output buffer instead of paying one send (and one
 // goroutine hop) per quantum per operator. Chains whose leading steps
-// compiled to column loops use the larger columnarBatch so the per-batch
-// row→column conversion amortizes over more rows.
-const (
-	fuseBatch     = 256
-	columnarBatch = 4096
-)
+// compiled to column loops use the larger Config.VecChainBatch so the
+// per-batch row→column conversion amortizes over more rows.
+const fuseBatch = 256
 
 // ApplyChain implements driverutil.ChainEngine: the fused chain runs as a
 // single goroutine pipeline segment per instance. Quanta are batched into
@@ -326,6 +383,32 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 	f, ok := in.(*flow)
 	if !ok {
 		return nil, fmt.Errorf("flink: fused chain input is %T, not a flow", in)
+	}
+	if agg := kernel.Agg(); agg != nil {
+		return e.applyChainAgg(kernel, f, counters, agg)
+	}
+	// A batch-native source flow feeds the kernel its segments directly:
+	// whole column batches skip both the channel hop and the row→column
+	// rebuild.
+	if f.segs != nil {
+		out := make([][]any, len(f.segs))
+		var wg sync.WaitGroup
+		var trap driverutil.Trap
+		for i := range f.segs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer trap.Guard()
+				counts := make([]int64, kernel.Len())
+				out[i] = kernel.RunSegments(f.segs[i], counts, nil)
+				for s, c := range counts {
+					atomic.AddInt64(counters[s], c)
+				}
+			}(i)
+		}
+		wg.Wait()
+		trap.Rethrow()
+		return sliceFlow(out), nil
 	}
 	box := f.errBox
 	if box == nil {
@@ -359,7 +442,7 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 					}()
 					batch := fuseBatch
 					if kernel.VecLen() > 0 {
-						batch = columnarBatch
+						batch = e.driver.Conf.VecChainBatch
 					}
 					vec := make([]any, 0, batch)
 					var buf []any
@@ -392,6 +475,79 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 		return sliceFlow(parts), nil
 	}
 	return out, nil
+}
+
+// applyChainAgg runs a chain terminated by an absorbed declarative
+// aggregation: per-instance vectorized pre-aggregation, one exchange of the
+// group partials on the partial key, then per-instance merge and finalize.
+// Instance boundaries and per-instance absorb order match the unfused
+// declarative reduce-by exactly, so group emission order is identical
+// however the chain executes.
+func (e *engine) applyChainAgg(kernel *driverutil.VectorKernel, f *flow, counters []*int64, agg *core.ReduceExpr) (*flow, error) {
+	var partials [][]any
+	if segs := f.segs; segs != nil {
+		partials = make([][]any, len(segs))
+		var wg sync.WaitGroup
+		var trap driverutil.Trap
+		for i := range segs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer trap.Guard()
+				counts := make([]int64, kernel.Len())
+				st := core.NewAggState(agg)
+				kernel.RunSegmentsAgg(segs[i], counts, st)
+				partials[i] = st.Partials(nil)
+				for s, c := range counts {
+					atomic.AddInt64(counters[s], c)
+				}
+			}(i)
+		}
+		wg.Wait()
+		trap.Rethrow()
+	} else {
+		parts := f.materialize()
+		if f.errBox != nil {
+			if err := f.errBox.get(); err != nil {
+				return nil, err
+			}
+		}
+		partials = make([][]any, len(parts))
+		var wg sync.WaitGroup
+		var trap driverutil.Trap
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer trap.Guard()
+				counts := make([]int64, kernel.Len())
+				st := core.NewAggState(agg)
+				kernel.RunAgg(parts[i], counts, st)
+				partials[i] = st.Partials(nil)
+				for s, c := range counts {
+					atomic.AddInt64(counters[s], c)
+				}
+			}(i)
+		}
+		wg.Wait()
+		trap.Rethrow()
+	}
+	e.exchangeBarrier()
+	shuffled := sliceFlow(partials).exchange(e.width(), agg.PartialKeyFn())
+	out, err := parallelParts(shuffled, func(part []any) ([]any, error) {
+		st := core.NewAggState(agg)
+		st.AbsorbPartials(part)
+		return st.Finalize(nil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var groups int64
+	for _, p := range out {
+		groups += int64(len(p))
+	}
+	atomic.AddInt64(counters[kernel.Len()], groups)
+	return sliceFlow(out), nil
 }
 
 func stageConsumers(stage *core.Stage, op *core.Operator) int {
@@ -551,6 +707,30 @@ func (e *engine) apply(op *core.Operator, in []*flow, round int) (*flow, error) 
 		return sliceFlow([][]any{out}), nil
 
 	case core.KindReduceBy:
+		// Declarative aggregation: per-instance grouped partials, one
+		// exchange on the partial key, merge and finalize — the same
+		// structure (and emission order) as the fused columnar path.
+		if ex := op.UDF.ReduceExpr; ex != nil {
+			partials, err := parallelParts(in[0].materialize(), func(part []any) ([]any, error) {
+				st := core.NewAggState(ex)
+				st.AbsorbRows(part)
+				return st.Partials(nil), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.exchangeBarrier()
+			shuffled := sliceFlow(partials).exchange(w, ex.PartialKeyFn())
+			out, err := parallelParts(shuffled, func(part []any) ([]any, error) {
+				st := core.NewAggState(ex)
+				st.AbsorbPartials(part)
+				return st.Finalize(nil), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return sliceFlow(out), nil
+		}
 		if op.UDF.Key == nil || op.UDF.Reduce == nil {
 			return nil, fmt.Errorf("reduce-by %s lacks key or reduce UDF", op)
 		}

@@ -39,6 +39,11 @@ type Config struct {
 	// ExchangeLatencyMs is paid per network exchange (wide dependency).
 	// Default 2; negative means none.
 	ExchangeLatencyMs float64
+	// VecChainBatch is the vector size fused chains with column-compiled
+	// steps batch quanta in. 0 selects the default (4096); any negative
+	// value disables the enlarged batching and such chains fall back to the
+	// ordinary fuse batch size.
+	VecChainBatch int
 }
 
 // NoOverheadMs is the sentinel for "this overhead is really zero" in Config
@@ -55,6 +60,12 @@ func (c Config) withDefaults() Config {
 	c.ContextStartupMs = defaultMs(c.ContextStartupMs, 80)
 	c.JobStartupMs = defaultMs(c.JobStartupMs, 6)
 	c.ExchangeLatencyMs = defaultMs(c.ExchangeLatencyMs, 2)
+	switch {
+	case c.VecChainBatch == 0:
+		c.VecChainBatch = 4096
+	case c.VecChainBatch < 0:
+		c.VecChainBatch = fuseBatch
+	}
 	return c
 }
 

@@ -420,6 +420,19 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 		}
 	}
 	counts := make([]int64, kernel.Len())
+	if agg := kernel.Agg(); agg != nil {
+		// Single worker set, no exchange: absorb the (possibly pushed-down)
+		// rows and finalize in first-occurrence order — identical to the
+		// unfused hash-agg over the same rows.
+		st := core.NewAggState(agg)
+		kernel.RunAgg(rows, counts, st)
+		out := st.Finalize(nil)
+		for s, c := range counts {
+			*counters[s] += c
+		}
+		*counters[kernel.Len()] += int64(len(out))
+		return &rel{rows: out}, nil
+	}
 	out := kernel.Run(rows, counts, nil)
 	for s, c := range counts {
 		*counters[s] += c

@@ -221,6 +221,68 @@ func TestColumnarChainMatchesRowChain(t *testing.T) {
 	}
 }
 
+// aggChainOps builds src -> filter -> map -> declarative reduce-by over n
+// record quanta: the shape whose trailing aggregation the vectorized
+// grouped-aggregation kernel absorbs whole-batch.
+func aggChainOps(n int) []*core.Operator {
+	data := make([]any, n)
+	for i := range data {
+		data[i] = core.Record{int64(i % 9973), float64(i%101) / 2, "g" + string(rune('0'+i%7))}
+	}
+	p := core.NewPlan("agg-chain")
+	ops := []*core.Operator{
+		{Kind: core.KindCollectionSource, Label: "src", Params: core.Params{Collection: data}},
+	}
+	we := core.Predicate{Col: 0, Op: core.PredGt, Value: int64(500)}
+	me := core.MapExpr{Col: 0, Op: core.NumAdd, Operand: int64(5)}
+	re := core.ReduceExpr{GroupCols: []int{2}, Aggs: []core.AggSpec{
+		{Op: core.AggSum, Col: 0},
+		{Op: core.AggCount, Col: core.WholeQuantum},
+		{Op: core.AggAvg, Col: 1},
+	}}
+	ops = append(ops,
+		&core.Operator{Kind: core.KindFilter, Label: "f-gt", Params: core.Params{Where: &we}},
+		&core.Operator{Kind: core.KindMap, Label: "m-add", UDF: core.UDFs{Map: me.Fn(), MapExpr: &me}},
+		&core.Operator{Kind: core.KindReduceBy, Label: "agg", UDF: core.UDFs{ReduceExpr: &re, Key: re.KeyFn()}},
+	)
+	for _, op := range ops {
+		p.Add(op)
+	}
+	p.Chain(ops...)
+	return ops
+}
+
+// BenchmarkColumnarAggChain measures a declarative filter->map->reduce-by
+// chain over 1M records, with the trailing aggregation absorbed into the
+// fused kernel: vectorized (whole batches into the grouped-aggregation
+// kernel) vs. the fused row path (RHEEM_NO_COLUMNAR).
+func BenchmarkColumnarAggChain(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"vectorized", false}, {"row-fused", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := core.SetColumnarDisabled(mode.off)
+			defer core.SetColumnarDisabled(prev)
+			d := NewWithConfig(nil, Config{
+				Parallelism:      8,
+				ContextStartupMs: NoOverheadMs,
+				JobStartupMs:     NoOverheadMs,
+				ShuffleLatencyMs: NoOverheadMs,
+			})
+			ops := aggChainOps(1_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stage, in := chainStage(d, ops)
+				if _, _, err := d.Execute(stage, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSparkNarrowChain measures an 8-op narrow chain over 1M quanta,
 // fused (one single-pass kernel per partition) vs. unfused (one
 // materialization per operator).

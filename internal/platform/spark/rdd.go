@@ -17,14 +17,57 @@ import (
 	"rheem/internal/platform/driverutil"
 )
 
-// RDD is a partitioned in-memory dataset.
+// RDD is a partitioned in-memory dataset. Partitions are either row-major
+// (Parts) or batch-native (Segs: column batches interleaved with row runs,
+// as decoded off quanta files and DFS blocks). Segment-backed partitions
+// have exactly the row boundaries Partition would produce, and materialize
+// lazily on first row-oriented access — batch-aware paths (ApplyChain) run
+// them without the row round-trip.
 type RDD struct {
 	Parts  [][]any
 	Cached bool
+
+	mu   sync.Mutex // guards lazy materialization of Segs into Parts
+	Segs [][]core.Segment
 }
 
 // NewRDD wraps existing partitions.
 func NewRDD(parts [][]any) *RDD { return &RDD{Parts: parts} }
+
+// NewSegRDD wraps batch-native partitions.
+func NewSegRDD(segs [][]core.Segment) *RDD { return &RDD{Segs: segs} }
+
+// materialize fills Parts from Segs on first row-oriented access. Safe for
+// concurrent callers (a reusable channel can feed parallel stages).
+func (r *RDD) materialize() *RDD {
+	if r.Segs == nil {
+		return r
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Parts == nil {
+		parts := make([][]any, len(r.Segs))
+		for i, segs := range r.Segs {
+			parts[i] = driverutil.SegmentRows(segs)
+		}
+		r.Parts = parts
+	}
+	return r
+}
+
+// segments returns the batch-native partitions, or nil when the RDD is (or
+// has been) materialized row-major.
+func (r *RDD) segments() [][]core.Segment {
+	if r.Segs == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Parts != nil {
+		return nil
+	}
+	return r.Segs
+}
 
 // Partition splits data into n balanced partitions. The partitions get
 // their own backing array: callers hand in slices they still own (cached
@@ -59,6 +102,15 @@ func Partition(data []any, n int) *RDD {
 
 // Count returns the total number of quanta.
 func (r *RDD) Count() int64 {
+	if segs := r.segments(); segs != nil {
+		var n int64
+		for _, part := range segs {
+			for _, s := range part {
+				n += int64(s.Len())
+			}
+		}
+		return n
+	}
 	var n int64
 	for _, p := range r.Parts {
 		n += int64(len(p))
@@ -68,6 +120,7 @@ func (r *RDD) Count() int64 {
 
 // Collect concatenates all partitions in order.
 func (r *RDD) Collect() []any {
+	r.materialize()
 	out := make([]any, 0, r.Count())
 	for _, p := range r.Parts {
 		out = append(out, p...)
@@ -122,6 +175,7 @@ func pool(n, width int, fn func(i int)) {
 
 // mapPartitions applies fn to every partition in parallel.
 func (r *RDD) mapPartitions(width int, fn func(part []any) []any) *RDD {
+	r.materialize()
 	out := make([][]any, len(r.Parts))
 	pool(len(r.Parts), width, func(i int) { out[i] = fn(r.Parts[i]) })
 	return NewRDD(out)
@@ -130,6 +184,7 @@ func (r *RDD) mapPartitions(width int, fn func(part []any) []any) *RDD {
 // shuffleBy hash-partitions all quanta by key into p output partitions
 // (a full shuffle: map-side bucketing in parallel, then bucket exchange).
 func (r *RDD) shuffleBy(width, p int, key func(any) any) *RDD {
+	r.materialize()
 	if p < 1 {
 		p = 1
 	}
@@ -158,6 +213,7 @@ func (r *RDD) shuffleBy(width, p int, key func(any) any) *RDD {
 // rangeShuffle redistributes quanta into ordered ranges using sampled
 // splitters under less, the building block of the parallel sort.
 func (r *RDD) rangeShuffle(width, p int, less func(a, b any) bool) *RDD {
+	r.materialize()
 	if p < 1 {
 		p = 1
 	}

@@ -267,6 +267,14 @@ func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 		}
 		return r, nil
 	case "collection", "file":
+		// Batch-native inputs (quanta files, segment-carrying datasets) keep
+		// their column batches; SplitSegments reproduces Partition's row
+		// boundaries exactly, so either carrier yields identical partitions.
+		if segs, ok, err := driverutil.ChannelSegments(ch); err != nil {
+			return nil, err
+		} else if ok {
+			return NewSegRDD(driverutil.SplitSegments(segs, e.width())), nil
+		}
 		data, err := driverutil.ChannelSlice(ch)
 		if err != nil {
 			return nil, err
@@ -309,7 +317,7 @@ func (e *engine) Apply(op *core.Operator, in []driverutil.Data, bc core.Broadcas
 		if !ok {
 			return nil, fmt.Errorf("spark: %s input %d is %T, not an RDD", op, i, d)
 		}
-		ins[i] = r
+		ins[i] = r.materialize() // unfused operators are row-oriented
 	}
 	out, err := e.apply(op, ins, round)
 	if err != nil {
@@ -335,6 +343,21 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 	if !ok {
 		return nil, fmt.Errorf("spark: fused chain input is %T, not an RDD", in)
 	}
+	if agg := kernel.Agg(); agg != nil {
+		return e.applyChainAgg(kernel, r, counters, agg)
+	}
+	if segs := r.segments(); segs != nil {
+		out := make([][]any, len(segs))
+		pool(len(segs), e.width(), func(i int) {
+			counts := make([]int64, kernel.Len())
+			out[i] = kernel.RunSegments(segs[i], counts, nil)
+			for s, c := range counts {
+				atomic.AddInt64(counters[s], c)
+			}
+		})
+		return NewRDD(out), nil
+	}
+	r.materialize()
 	out := make([][]any, len(r.Parts))
 	pool(len(r.Parts), e.width(), func(i int) {
 		counts := make([]int64, kernel.Len())
@@ -343,6 +366,48 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 			atomic.AddInt64(counters[s], c)
 		}
 	})
+	return NewRDD(out), nil
+}
+
+// applyChainAgg runs a chain terminated by an absorbed declarative
+// aggregation: per-partition vectorized partial aggregation (the spark
+// map-side combine), a shuffle of the group partials on the partial key,
+// then per-partition merge and finalize. Partition boundaries and
+// per-partition absorb order match the unfused two-phase path exactly, so
+// group emission order — first occurrence per shuffled partition — is
+// identical however the chain executes.
+func (e *engine) applyChainAgg(kernel *driverutil.VectorKernel, r *RDD, counters []*int64, agg *core.ReduceExpr) (driverutil.Data, error) {
+	segs := r.segments()
+	nparts := len(segs)
+	if segs == nil {
+		r.materialize()
+		nparts = len(r.Parts)
+	}
+	partials := make([][]any, nparts)
+	pool(nparts, e.width(), func(i int) {
+		counts := make([]int64, kernel.Len())
+		st := core.NewAggState(agg)
+		if segs != nil {
+			kernel.RunSegmentsAgg(segs[i], counts, st)
+		} else {
+			kernel.RunAgg(r.Parts[i], counts, st)
+		}
+		partials[i] = st.Partials(nil)
+		for s, c := range counts {
+			atomic.AddInt64(counters[s], c)
+		}
+	})
+	e.shuffleBarrier()
+	shuffled := NewRDD(partials).shuffleBy(e.width(), nparts, agg.PartialKeyFn())
+	out := make([][]any, len(shuffled.Parts))
+	var groups int64
+	pool(len(shuffled.Parts), e.width(), func(i int) {
+		st := core.NewAggState(agg)
+		st.AbsorbPartials(shuffled.Parts[i])
+		out[i] = st.Finalize(nil)
+		atomic.AddInt64(&groups, int64(len(out[i])))
+	})
+	atomic.AddInt64(counters[kernel.Len()], groups)
 	return NewRDD(out), nil
 }
 
@@ -461,6 +526,27 @@ func (e *engine) apply(op *core.Operator, in []*RDD, round int) (*RDD, error) {
 		return Partition(out, 1), nil
 
 	case core.KindReduceBy:
+		// Declarative aggregation: per-partition grouped partials, shuffle on
+		// the partial key, merge and finalize. An aggregation is not
+		// idempotent like a re-applied combiner, so this branches before the
+		// opaque-UDF two-phase arm rather than dispatching inside it.
+		if ex := op.UDF.ReduceExpr; ex != nil {
+			partials, err := e.mapPartsErr(in[0], func(part []any) ([]any, error) {
+				st := core.NewAggState(ex)
+				st.AbsorbRows(part)
+				return st.Partials(nil), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.shuffleBarrier()
+			shuffled := partials.shuffleBy(w, len(in[0].Parts), ex.PartialKeyFn())
+			return e.mapPartsErr(shuffled, func(part []any) ([]any, error) {
+				st := core.NewAggState(ex)
+				st.AbsorbPartials(part)
+				return st.Finalize(nil), nil
+			})
+		}
 		if op.UDF.Key == nil || op.UDF.Reduce == nil {
 			return nil, fmt.Errorf("reduce-by %s lacks key or reduce UDF", op)
 		}
@@ -723,14 +809,37 @@ func (d *Driver) loadDFSQuanta(path string) (*RDD, error) {
 	}
 	// Each block split is decoded by its own worker: binary frames for
 	// framed files, legacy JSON lines for files written before the binary
-	// codec existed.
-	parts := make([][]any, len(blocks))
+	// codec existed. With the columnar plane on, column-batch frames stay
+	// batch-native per block; partition boundaries are the block splits
+	// either way, so both paths see identical rows per partition.
+	if core.ColumnarDisabled() {
+		parts := make([][]any, len(blocks))
+		var firstErr error
+		var mu sync.Mutex
+		pool(len(blocks), d.Conf.Parallelism, func(i int) {
+			part, err := driverutil.ReadDFSQuantaBlock(d.DFS, name, i)
+			if err == nil {
+				parts[i] = part
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return NewRDD(parts), nil
+	}
+	segs := make([][]core.Segment, len(blocks))
 	var firstErr error
 	var mu sync.Mutex
 	pool(len(blocks), d.Conf.Parallelism, func(i int) {
-		part, err := driverutil.ReadDFSQuantaBlock(d.DFS, name, i)
+		part, err := driverutil.ReadDFSQuantaBlockSegments(d.DFS, name, i)
 		if err == nil {
-			parts[i] = part
+			segs[i] = part
 			return
 		}
 		mu.Lock()
@@ -742,7 +851,7 @@ func (d *Driver) loadDFSQuanta(path string) (*RDD, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return NewRDD(parts), nil
+	return NewSegRDD(segs), nil
 }
 
 func writeDFSQuanta(store *dfs.Store, name string, data []any) error {

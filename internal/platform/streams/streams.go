@@ -73,6 +73,17 @@ func (d *Driver) Conversions() []*core.Conversion {
 			Name: "streams.fetch", From: "file", To: "collection",
 			FixedCostMs: 1, PerQuantumMs: 0.003,
 			Convert: func(in *core.Channel) (*core.Channel, error) {
+				// Keep decoded batch frames column-major: SegmentedDataset
+				// iterates as the same rows, and batch-aware consumers skip
+				// the rebuild.
+				if !core.ColumnarDisabled() {
+					segs, err := core.ReadQuantaFileSegments(in.Payload.(string))
+					if err != nil {
+						return nil, err
+					}
+					ds := core.NewSegmentedDataset(segs)
+					return core.NewChannel(core.CollectionChannel, ds, ds.Card()), nil
+				}
 				data, err := core.ReadQuantaFile(in.Payload.(string))
 				if err != nil {
 					return nil, err
@@ -102,6 +113,14 @@ func (d *Driver) Conversions() []*core.Conversion {
 				Name: "streams.dfs-get", From: "dfs", To: "collection",
 				FixedCostMs: 4, PerQuantumMs: 0.005,
 				Convert: func(in *core.Channel) (*core.Channel, error) {
+					if !core.ColumnarDisabled() {
+						segs, err := driverutil.ReadDFSQuantaSegments(d.DFS, in.Payload.(string))
+						if err != nil {
+							return nil, err
+						}
+						ds := core.NewSegmentedDataset(segs)
+						return core.NewChannel(core.CollectionChannel, ds, ds.Card()), nil
+					}
 					data, err := ReadDFSQuanta(d.DFS, in.Payload.(string))
 					if err != nil {
 						return nil, err
@@ -183,10 +202,21 @@ func (d *Driver) Execute(stage *core.Stage, in *core.Inputs) (map[*core.Operator
 type pipe struct {
 	open func() core.Iterator
 	card int64 // -1 unknown
+
+	// segs, set only on source pipes built from batch-native channels,
+	// carries the quanta as column batches interleaved with row runs. open
+	// expands them lazily, so row consumers see the identical stream; the
+	// batch-aware ApplyChain reads segs directly.
+	segs []core.Segment
 }
 
 func slicePipe(data []any) *pipe {
 	return &pipe{open: func() core.Iterator { return core.NewSliceDataset(data).Open() }, card: int64(len(data))}
+}
+
+func segPipe(segs []core.Segment) *pipe {
+	ds := core.NewSegmentedDataset(segs)
+	return &pipe{open: ds.Open, card: ds.Card(), segs: segs}
 }
 
 func (p *pipe) materialize() []any { return core.Collect(p.open()) }
@@ -200,6 +230,13 @@ type engine struct {
 func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 	switch ch.Desc.Name {
 	case "collection", "file":
+		// Batch-native inputs keep their column batches; iteration order is
+		// identical to the row carrier either way.
+		if segs, ok, err := driverutil.ChannelSegments(ch); err != nil {
+			return nil, err
+		} else if ok {
+			return segPipe(segs), nil
+		}
 		data, err := driverutil.ChannelSlice(ch)
 		if err != nil {
 			return nil, err
@@ -208,6 +245,13 @@ func (e *engine) FromChannel(ch *core.Channel) (driverutil.Data, error) {
 	case "dfs":
 		if e.driver.DFS == nil {
 			return nil, fmt.Errorf("streams: no DFS configured")
+		}
+		if !core.ColumnarDisabled() {
+			segs, err := driverutil.ReadDFSQuantaSegments(e.driver.DFS, ch.Payload.(string))
+			if err != nil {
+				return nil, err
+			}
+			return segPipe(segs), nil
 		}
 		data, err := ReadDFSQuanta(e.driver.DFS, ch.Payload.(string))
 		if err != nil {
@@ -279,7 +323,29 @@ func (e *engine) ApplyChain(chain *driverutil.FusedChain, kernel *driverutil.Vec
 		return nil, fmt.Errorf("streams: fused chain input is %T, not a pipeline", in)
 	}
 	counts := make([]int64, kernel.Len())
-	out := kernel.Run(p.materialize(), counts, nil)
+	if agg := kernel.Agg(); agg != nil {
+		// Single partition: absorb everything, then finalize — no partial
+		// exchange needed. Emission order is the groups' first-occurrence
+		// order, exactly what the unfused row path produces.
+		st := core.NewAggState(agg)
+		if p.segs != nil {
+			kernel.RunSegmentsAgg(p.segs, counts, st)
+		} else {
+			kernel.RunAgg(p.materialize(), counts, st)
+		}
+		out := st.Finalize(nil)
+		for s, c := range counts {
+			*counters[s] += c
+		}
+		*counters[kernel.Len()] += int64(len(out))
+		return slicePipe(out), nil
+	}
+	var out []any
+	if p.segs != nil {
+		out = kernel.RunSegments(p.segs, counts, nil)
+	} else {
+		out = kernel.Run(p.materialize(), counts, nil)
+	}
 	for s, c := range counts {
 		*counters[s] += c
 	}

@@ -85,7 +85,7 @@ func TestConversionsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data := back.Payload.(*core.SliceDataset).Data
+	data := core.Materialize(back.Payload.(core.Dataset))
 	if len(data) != 2 || data[1] != "plain" {
 		t.Fatalf("fetched %v", data)
 	}
@@ -102,7 +102,7 @@ func TestConversionsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data = got.Payload.(*core.SliceDataset).Data
+	data = core.Materialize(got.Payload.(core.Dataset))
 	if len(data) != 2 || data[1] != "plain" {
 		t.Fatalf("dfs round trip %v", data)
 	}

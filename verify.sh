@@ -28,11 +28,13 @@ go test -race $short ./...
 # and run even when nobody records numbers.
 go test -run=NONE -bench=BenchmarkEncodeQuantum -benchtime=1x ./internal/core
 # Fusion smoke: one iteration of the narrow-chain benchmarks (fused and
-# unfused paths both execute), plus the fused-vs-unfused differential
+# unfused paths both execute) and of the columnar agg-chain benchmark (the
+# vectorized grouped-aggregation kernel and its row twin both execute),
+# plus the fused-vs-unfused differential
 # crosscheck with fusion force-disabled via the environment kill switch —
 # proving RHEEM_NO_FUSE=1 and the default path produce identical sink
 # output.
-go test -run=NONE -bench=NarrowChain -benchtime=1x ./internal/platform/spark ./internal/platform/flink
+go test -run=NONE -bench='NarrowChain|ColumnarAggChain' -benchtime=1x ./internal/platform/spark ./internal/platform/flink
 RHEEM_NO_FUSE=1 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
 go test -run='TestCrossCheckFusedAgainstUnfused|TestFusedFig9' .
 # Columnar smoke: the columnar-vs-row differential crosschecks (random
